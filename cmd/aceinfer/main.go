@@ -1,0 +1,75 @@
+// Command aceinfer loads a model artifact produced by radtrain and
+// runs one measured inference on the simulated device under continuous
+// (bench) power, printing the prediction and the cost report.
+//
+// Usage:
+//
+//	aceinfer -model mnist.gob [-engine ace+flex] [-sample N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ehdl/internal/core"
+	"ehdl/internal/dataset"
+	"ehdl/internal/device"
+	"ehdl/internal/fixed"
+	"ehdl/internal/quant"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aceinfer: ")
+
+	modelPath := flag.String("model", "", "model artifact from radtrain (required)")
+	engine := flag.String("engine", "ace+flex", "runtime: base, sonic, tails, ace, ace+flex")
+	sample := flag.Int("sample", 0, "test-set sample index")
+	seed := flag.Int64("seed", 1, "dataset seed (must match radtrain for meaningful labels)")
+	flag.Parse()
+
+	if *modelPath == "" {
+		log.Fatal("-model is required")
+	}
+	m, err := quant.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	set := datasetFor(m.Name, *seed)
+	if *sample >= len(set.Test) {
+		log.Fatalf("sample %d out of range (%d test samples)", *sample, len(set.Test))
+	}
+	s := set.Test[*sample]
+
+	rep, err := core.InferContinuous(core.EngineKind(*engine), m, fixed.FromFloats(s.Input))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model:     %s (%d classes)\n", m.Name, m.NumClasses)
+	fmt.Printf("engine:    %s\n", rep.Engine)
+	fmt.Printf("predicted: %d (%s)   true: %d (%s)\n",
+		rep.Predicted, set.ClassNames[rep.Predicted], s.Label, set.ClassNames[s.Label])
+	fmt.Printf("latency:   %.2f ms\n", rep.Stats.ActiveSeconds*1e3)
+	fmt.Printf("energy:    %.3f mJ\n", rep.Stats.EnergymJ())
+	for c := device.Category(0); c < device.NumCategories; c++ {
+		if rep.Stats.Energy[c] > 0 {
+			fmt.Printf("  %-11s %10.1f uJ\n", c, rep.Stats.Energy[c]*1e-3)
+		}
+	}
+}
+
+func datasetFor(name string, seed int64) *dataset.Set {
+	switch name {
+	case "mnist", "mnist-dense":
+		return dataset.MNIST(1, 64, seed)
+	case "har", "har-dense":
+		return dataset.HAR(1, 64, seed)
+	case "okg", "okg-dense":
+		return dataset.OKG(1, 64, seed)
+	}
+	log.Fatalf("model %q has no matching dataset", name)
+	return nil
+}

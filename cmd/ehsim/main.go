@@ -1,0 +1,97 @@
+// Command ehsim runs one inference under simulated energy harvesting:
+// a capacitor charged by a configurable ambient profile, with power
+// failures wherever the budget runs out.
+//
+// Usage:
+//
+//	ehsim -model mnist.gob [-engine ace+flex] [-cap 100e-6]
+//	      [-profile square|sine|const] [-power 5e-3] [-period 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ehdl/internal/core"
+	"ehdl/internal/dataset"
+	"ehdl/internal/device"
+	"ehdl/internal/fixed"
+	"ehdl/internal/harvest"
+	"ehdl/internal/quant"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ehsim: ")
+
+	modelPath := flag.String("model", "", "model artifact from radtrain (required)")
+	engine := flag.String("engine", "ace+flex", "runtime: base, sonic, tails, ace, ace+flex")
+	capF := flag.Float64("cap", 100e-6, "capacitance in farads")
+	profile := flag.String("profile", "square", "harvest profile: square, sine, const")
+	power := flag.Float64("power", 5e-3, "peak harvested power in watts")
+	period := flag.Float64("period", 0.1, "profile period in seconds")
+	sample := flag.Int("sample", 0, "test-set sample index")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+
+	if *modelPath == "" {
+		log.Fatal("-model is required")
+	}
+	m, err := quant.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := datasetFor(m.Name, *seed)
+	s := set.Test[*sample]
+
+	var prof harvest.Profile
+	switch *profile {
+	case "square":
+		prof = harvest.SquareProfile{PeakWatts: *power, Period: *period, Duty: 0.5}
+	case "sine":
+		prof = harvest.SineProfile{PeakWatts: *power, Period: *period}
+	case "const":
+		prof = harvest.ConstantProfile{Watts: *power}
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+	cfg := harvest.PaperConfig()
+	cfg.CapacitanceF = *capF
+
+	setup := core.HarvestSetup{Config: cfg, Profile: prof}
+	rep, err := core.InferIntermittent(core.EngineKind(*engine), m, fixed.FromFloats(s.Input), setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model:   %s   engine: %s\n", m.Name, rep.Engine)
+	fmt.Printf("supply:  %.0f uF, %s profile, %.1f mW peak\n", *capF*1e6, *profile, *power*1e3)
+	if rep.Intermittent.Completed {
+		fmt.Printf("result:  completed, predicted %d (%s), true %d (%s)\n",
+			rep.Predicted, set.ClassNames[rep.Predicted], s.Label, set.ClassNames[s.Label])
+	} else {
+		fmt.Printf("result:  DID NOT FINISH (%v)\n", rep.Intermittent.Err)
+	}
+	fmt.Printf("boots:   %d power failures\n", rep.Intermittent.Boots)
+	fmt.Printf("active:  %.1f ms compute\n", rep.Stats.ActiveSeconds*1e3)
+	fmt.Printf("wall:    %.1f ms including recharge\n", rep.Stats.WallSeconds*1e3)
+	fmt.Printf("energy:  %.3f mJ total\n", rep.Stats.EnergymJ())
+	fmt.Printf("  checkpoint %.1f uJ, restore %.1f uJ, monitor %.1f uJ\n",
+		rep.Stats.Energy[device.CatCheckpoint]*1e-3,
+		rep.Stats.Energy[device.CatRestore]*1e-3,
+		rep.Stats.Energy[device.CatMonitor]*1e-3)
+}
+
+func datasetFor(name string, seed int64) *dataset.Set {
+	switch name {
+	case "mnist", "mnist-dense":
+		return dataset.MNIST(1, 64, seed)
+	case "har", "har-dense":
+		return dataset.HAR(1, 64, seed)
+	case "okg", "okg-dense":
+		return dataset.OKG(1, 64, seed)
+	}
+	log.Fatalf("model %q has no matching dataset", name)
+	return nil
+}

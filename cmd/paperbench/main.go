@@ -1,0 +1,83 @@
+// Command paperbench regenerates every table and figure of the
+// paper's evaluation section and prints them as text tables. With no
+// flags it runs everything at full scale (a few minutes, dominated by
+// training the three models).
+//
+// Usage:
+//
+//	paperbench [-quick] [-table1] [-table2] [-fig7a] [-fig7b] [-fig7c] [-fig8] [-ckpt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ehdl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+
+	quick := flag.Bool("quick", false, "use reduced training budgets (for smoke runs)")
+	t1 := flag.Bool("table1", false, "Table I only")
+	t2 := flag.Bool("table2", false, "Table II only")
+	f7a := flag.Bool("fig7a", false, "Fig 7(a) only")
+	f7b := flag.Bool("fig7b", false, "Fig 7(b) only")
+	f7c := flag.Bool("fig7c", false, "Fig 7(c) only")
+	f8 := flag.Bool("fig8", false, "Fig 8 only")
+	ck := flag.Bool("ckpt", false, "checkpoint overhead only")
+	flag.Parse()
+
+	all := !(*t1 || *t2 || *f7a || *f7b || *f7c || *f8 || *ck)
+
+	if all || *t1 {
+		fmt.Println(experiments.RenderTable1(experiments.Table1()))
+	}
+	if all || *f8 {
+		rows, err := experiments.Fig8(7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderFig8(rows))
+	}
+
+	needTraining := all || *t2 || *f7a || *f7b || *f7c || *ck
+	if !needTraining {
+		return
+	}
+
+	opts := experiments.FullOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	fmt.Fprintln(os.Stderr, "training the three models (this is the slow part)...")
+	tasks, err := experiments.PrepareTasks(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if all || *t2 {
+		fmt.Println(experiments.RenderTable2(experiments.Table2(tasks)))
+	}
+	if all || *f7a || *f7b || *f7c || *ck {
+		rows, err := experiments.Fig7(tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if all || *f7a {
+			fmt.Println(experiments.RenderFig7a(rows))
+		}
+		if all || *f7b {
+			fmt.Println(experiments.RenderFig7b(rows))
+		}
+		if all || *f7c {
+			fmt.Println(experiments.RenderFig7c(rows))
+		}
+		if all || *ck {
+			fmt.Println(experiments.RenderCheckpointOverhead(experiments.CheckpointOverhead(rows)))
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command radtrain runs the RAD pipeline (train → prune → quantize)
+// for one of the paper's tasks and writes the deployable fixed-point
+// model artifact.
+//
+// Usage:
+//
+//	radtrain -task mnist|har|okg [-o model.gob] [-samples N] [-epochs N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ehdl/internal/dataset"
+	"ehdl/internal/experiments"
+	"ehdl/internal/nn"
+	"ehdl/internal/rad"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("radtrain: ")
+
+	task := flag.String("task", "mnist", "task: mnist, har, or okg")
+	out := flag.String("o", "", "output model path (default <task>.gob)")
+	samples := flag.Int("samples", experiments.FullOptions().TrainSamples, "training samples")
+	epochs := flag.Int("epochs", experiments.FullOptions().Epochs, "training epochs")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var (
+		set  *dataset.Set
+		arch *nn.Arch
+	)
+	switch *task {
+	case "mnist":
+		set = dataset.MNIST(*samples, *samples/5, *seed)
+		arch = nn.MNISTArch(128, true)
+	case "har":
+		set = dataset.HAR(*samples, *samples/5, *seed)
+		arch = nn.HARArch(128, 64)
+	case "okg":
+		set = dataset.OKG(*samples, *samples/5, *seed)
+		arch = nn.OKGArch(256, 128, 64)
+	default:
+		log.Fatalf("unknown task %q", *task)
+	}
+
+	cfg := rad.DefaultPipelineConfig()
+	cfg.Train.Epochs = *epochs
+	cfg.Train.Seed = *seed
+	cfg.Seed = *seed + 1
+
+	res, err := rad.Train(arch, set, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("float accuracy:     %.1f%%\n", 100*res.FloatAccuracy)
+	fmt.Printf("quantized accuracy: %.1f%%\n", 100*res.QuantAccuracy)
+	fmt.Printf("model weights:      %d bytes (FRAM)\n", res.Model.WeightBytes())
+	for _, p := range res.Prune {
+		fmt.Printf("pruned conv layer:  %d/%d kernel positions kept (%.1fx)\n",
+			p.KeptPositions, p.TotalPosition, p.Compression)
+	}
+
+	path := *out
+	if path == "" {
+		path = *task + ".gob"
+	}
+	if err := res.Model.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model written to %s\n", path)
+}

@@ -1,0 +1,111 @@
+// Package ehdl is a Go reproduction of "Enabling Fast Deep Learning on
+// Tiny Energy-Harvesting IoT Devices" (Islam et al., DATE 2022): a
+// framework for training compressed DNNs (RAD), executing them with
+// vector-accelerator-aware fixed-point runtimes on a simulated
+// MSP430-class device (ACE), and keeping inference correct across the
+// power failures of batteryless energy harvesting (FLEX).
+//
+// The public API is a thin facade over internal/core:
+//
+//	set := ehdl.MNIST(1200, 240, 1)
+//	model, _ := ehdl.Train(ehdl.MNISTArch(), set, ehdl.DefaultTrainOptions())
+//	rep, _ := ehdl.Infer(ehdl.ACEFLEX, model, set.Test[0].Input)
+//	irep, _ := ehdl.InferHarvested(ehdl.ACEFLEX, model, set.Test[0].Input, ehdl.PaperHarvest())
+//
+// See the examples/ directory for runnable walk-throughs and
+// cmd/paperbench for the full evaluation reproduction.
+package ehdl
+
+import (
+	"ehdl/internal/core"
+	"ehdl/internal/dataset"
+	"ehdl/internal/exec"
+	"ehdl/internal/fixed"
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
+	"ehdl/internal/rad"
+)
+
+// Engine selects one of the paper's runtimes.
+type Engine = core.EngineKind
+
+// The five runtimes of the evaluation.
+const (
+	Base    = core.EngineBase
+	SONIC   = core.EngineSONIC
+	TAILS   = core.EngineTAILS
+	ACE     = core.EngineACE
+	ACEFLEX = core.EngineACEFLEX
+)
+
+// Engines lists every runtime in presentation order.
+func Engines() []Engine { return core.AllEngines() }
+
+// Set is a synthetic dataset (see internal/dataset for the three
+// workload generators).
+type Set = dataset.Set
+
+// MNIST generates the image-classification workload.
+func MNIST(nTrain, nTest int, seed int64) *Set { return dataset.MNIST(nTrain, nTest, seed) }
+
+// HAR generates the human-activity-recognition workload.
+func HAR(nTrain, nTest int, seed int64) *Set { return dataset.HAR(nTrain, nTest, seed) }
+
+// OKG generates the keyword-recognition workload.
+func OKG(nTrain, nTest int, seed int64) *Set { return dataset.OKG(nTrain, nTest, seed) }
+
+// Arch describes a model architecture.
+type Arch = nn.Arch
+
+// MNISTArch returns Table II's MNIST model (BCM block 128, 2x pruned
+// conv2).
+func MNISTArch() *Arch { return nn.MNISTArch(128, true) }
+
+// HARArch returns Table II's HAR model.
+func HARArch() *Arch { return nn.HARArch(128, 64) }
+
+// OKGArch returns Table II's OKG model.
+func OKGArch() *Arch { return nn.OKGArch(256, 128, 64) }
+
+// Model is a quantized, deployable model artifact.
+type Model = quant.Model
+
+// LoadModel reads a model artifact from a file.
+func LoadModel(path string) (*Model, error) { return quant.LoadFile(path) }
+
+// TrainOptions configures the RAD pipeline.
+type TrainOptions = rad.PipelineConfig
+
+// DefaultTrainOptions returns the Table II training settings.
+func DefaultTrainOptions() TrainOptions { return rad.DefaultPipelineConfig() }
+
+// TrainResult is the full RAD artifact (float net, quantized model,
+// accuracies, pruning report).
+type TrainResult = rad.Result
+
+// Train runs the RAD pipeline: train, ADMM-prune where the
+// architecture asks for it, calibrate, quantize.
+func Train(arch *Arch, set *Set, opts TrainOptions) (*TrainResult, error) {
+	return rad.Train(arch, set, opts)
+}
+
+// Report is a measured inference.
+type Report = exec.Report
+
+// Infer runs one measured inference on bench (continuous) power.
+func Infer(engine Engine, m *Model, input []float64) (Report, error) {
+	return core.InferContinuous(engine, m, fixed.FromFloats(input))
+}
+
+// Harvest describes an energy-harvesting experiment setup.
+type Harvest = core.HarvestSetup
+
+// PaperHarvest returns the paper's setup: 100 µF capacitor, 5 mW
+// square-wave source.
+func PaperHarvest() Harvest { return core.PaperHarvestSetup() }
+
+// InferHarvested runs one inference under intermittent harvested
+// power; the report carries boots, wall time, and completion status.
+func InferHarvested(engine Engine, m *Model, input []float64, h Harvest) (Report, error) {
+	return core.InferIntermittent(engine, m, fixed.FromFloats(input), h)
+}

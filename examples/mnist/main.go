@@ -1,0 +1,39 @@
+// MNIST walk-through: the paper's image-classification pipeline end to
+// end — RAD training with ADMM structured pruning, then a comparison
+// of all four runtimes on the same compressed model, reproducing the
+// MNIST columns of Fig. 7(a).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ehdl"
+)
+
+func main() {
+	set := ehdl.MNIST(1000, 200, 1)
+
+	res, err := ehdl.Train(ehdl.MNISTArch(), set, ehdl.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MNIST: float %.1f%%, quantized %.1f%%\n",
+		100*res.FloatAccuracy, 100*res.QuantAccuracy)
+	for _, p := range res.Prune {
+		fmt.Printf("conv2 structured pruning: kept %d/%d kernel positions (%.1fx)\n",
+			p.KeptPositions, p.TotalPosition, p.Compression)
+	}
+
+	x := set.Test[3]
+	fmt.Printf("\n%-10s %12s %12s %10s\n", "engine", "latency(ms)", "energy(mJ)", "predicted")
+	for _, eng := range ehdl.Engines() {
+		rep, err := ehdl.Infer(eng, res.Model, x.Input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.1f %12.3f %10d\n",
+			eng, rep.Stats.ActiveSeconds*1e3, rep.Stats.EnergymJ(), rep.Predicted)
+	}
+	fmt.Printf("(true label: %d)\n", x.Label)
+}

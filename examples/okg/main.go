@@ -1,0 +1,55 @@
+// OKG walk-through: keyword recognition, the paper's most FC-heavy
+// model and therefore where BCM compression matters most. The example
+// prints the storage accounting per layer and then compares ACE
+// against the TAILS baseline on the same compressed weights.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ehdl"
+)
+
+func main() {
+	set := ehdl.OKG(1200, 240, 1)
+
+	res, err := ehdl.Train(ehdl.OKGArch(), set, ehdl.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OKG: float %.1f%%, quantized %.1f%%\n",
+		100*res.FloatAccuracy, 100*res.QuantAccuracy)
+
+	fmt.Println("\nlayer storage (16-bit weights):")
+	dense, bcm := 0, 0
+	for _, l := range res.Model.Layers {
+		switch l.Spec.Kind {
+		case "bcm":
+			orig := 2 * l.Spec.In * l.Spec.Out
+			comp := 2 * len(l.W)
+			dense += orig
+			bcm += comp
+			fmt.Printf("  FC %4dx%-4d  BCM k=%-3d  %8d -> %6d bytes (%.0fx)\n",
+				l.Spec.In, l.Spec.Out, l.Spec.K, orig, comp, float64(orig)/float64(comp))
+		case "dense":
+			n := 2 * len(l.W)
+			dense += n
+			bcm += n
+			fmt.Printf("  FC %4dx%-4d  dense      %8d bytes\n", l.Spec.In, l.Spec.Out, n)
+		}
+	}
+	fmt.Printf("  FC total: %d -> %d bytes — the uncompressed model would not fit 256 KB FRAM\n",
+		dense, bcm)
+
+	x := set.Test[0]
+	for _, eng := range []ehdl.Engine{ehdl.TAILS, ehdl.ACEFLEX} {
+		rep, err := ehdl.Infer(eng, res.Model, x.Input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-9s %7.1f ms  %6.3f mJ  predicted %q",
+			eng, rep.Stats.ActiveSeconds*1e3, rep.Stats.EnergymJ(), set.ClassNames[rep.Predicted])
+	}
+	fmt.Println()
+}

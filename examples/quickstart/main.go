@@ -1,0 +1,45 @@
+// Quickstart: train a small model with RAD, deploy it to the
+// simulated device, and run one inference on bench power and one under
+// energy harvesting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ehdl"
+)
+
+func main() {
+	// 1. A synthetic workload (MNIST-shaped digits).
+	set := ehdl.MNIST(600, 120, 1)
+
+	// 2. RAD: train, compress (BCM + pruning), quantize to 16-bit
+	//    fixed point. Reduced budget so the quickstart finishes fast.
+	opts := ehdl.DefaultTrainOptions()
+	opts.Train.Epochs = 3
+	res, err := ehdl.Train(ehdl.MNISTArch(), set, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: float %.1f%%, quantized %.1f%%, %d weight bytes\n",
+		100*res.FloatAccuracy, 100*res.QuantAccuracy, res.Model.WeightBytes())
+
+	// 3. ACE+FLEX on bench power.
+	x := set.Test[0]
+	rep, err := ehdl.Infer(ehdl.ACEFLEX, res.Model, x.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("continuous: predicted %d (true %d) in %.1f ms, %.3f mJ\n",
+		rep.Predicted, x.Label, rep.Stats.ActiveSeconds*1e3, rep.Stats.EnergymJ())
+
+	// 4. The same inference on a 100 µF capacitor fed by a 5 mW
+	//    square-wave harvester: power failures included.
+	irep, err := ehdl.InferHarvested(ehdl.ACEFLEX, res.Model, x.Input, ehdl.PaperHarvest())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("harvested:  predicted %d across %d power failures (%.0f ms wall)\n",
+		irep.Predicted, irep.Intermittent.Boots, irep.Stats.WallSeconds*1e3)
+}

@@ -1,0 +1,114 @@
+package circulant
+
+import (
+	"ehdl/internal/fftfixed"
+	"ehdl/internal/fixed"
+)
+
+// This file is the device-independent reference implementation of the
+// paper's Algorithm 1 ("On-device BCM implementation"). The ACE
+// runtime executes the same stages through the LEA cost model; tests
+// cross-check ACE's output against this kernel, and this kernel
+// against the float CircConv.
+
+// Alg1Scratch holds the SRAM-sized scratch vectors Algorithm 1 needs,
+// so repeated block multiplies do not allocate. All three slices have
+// the block length K.
+type Alg1Scratch struct {
+	CW, CX, CY []fftfixed.Complex
+}
+
+// NewAlg1Scratch returns scratch buffers for block size k.
+func NewAlg1Scratch(k int) *Alg1Scratch {
+	return &Alg1Scratch{
+		CW: make([]fftfixed.Complex, k),
+		CX: make([]fftfixed.Complex, k),
+		CY: make([]fftfixed.Complex, k),
+	}
+}
+
+// MulBlockAlg1 computes the circular convolution w ⊛ x of two Q15
+// vectors following Algorithm 1:
+//
+//	COMPLEX → FFT(w), FFT(x) → element-wise MPY → IFFT → REAL → SCALE-UP
+//
+// The per-stage-scaled forward FFT already divides by K (the paper's
+// SCALE-DOWN), so the product carries a leftover factor 1/K which the
+// SCALE-UP shift restores. wShift is the power-of-two pre-scaling
+// applied to the stored weights by the quantizer (weights are stored
+// as w·2^wShift for precision); the final shift compensates for both:
+// out = conv · 2^(log2 K − wShift).
+//
+// Results land in dst, which must have length len(w) == len(x) == a
+// power of two.
+func MulBlockAlg1(dst []fixed.Q15, w, x []fixed.Q15, wShift uint, s *Alg1Scratch) {
+	k := len(w)
+	if len(x) != k || len(dst) != k {
+		panic("circulant: MulBlockAlg1 length mismatch")
+	}
+	if !fftfixed.IsPow2(k) {
+		panic("circulant: MulBlockAlg1 block size must be a power of two")
+	}
+	if len(s.CW) != k {
+		panic("circulant: scratch size mismatch")
+	}
+	MulBlockRaw(dst, w, x, 0, s)
+	scaleUp := fixed.Log2Ceil(k)
+	switch {
+	case scaleUp > wShift:
+		fixed.ShlVec(dst, dst, scaleUp-wShift)
+	case wShift > scaleUp:
+		fixed.ShrVec(dst, dst, wShift-scaleUp)
+	}
+}
+
+// MulBlockRaw performs Algorithm 1 WITHOUT the final SCALE-UP: the
+// result is (w ⊛ x)·2^bShift/K exactly as the scaled FFT pipeline
+// leaves it. bShift lifts the product spectrum before the inverse
+// transform (calibrated by the quantizer so it cannot saturate), which
+// keeps the IFFT working in the high bits. Layer kernels accumulate
+// several raw blocks and apply one combined scale at the end.
+func MulBlockRaw(dst []fixed.Q15, w, x []fixed.Q15, bShift uint, s *Alg1Scratch) {
+	k := len(w)
+	if len(x) != k || len(dst) != k {
+		panic("circulant: MulBlockRaw length mismatch")
+	}
+	if !fftfixed.IsPow2(k) {
+		panic("circulant: MulBlockRaw block size must be a power of two")
+	}
+	if len(s.CW) != k {
+		panic("circulant: scratch size mismatch")
+	}
+	fftfixed.ToComplex(s.CW, w)
+	fftfixed.ToComplex(s.CX, x)
+	fftfixed.FFT(s.CW)
+	fftfixed.FFT(s.CX)
+	fftfixed.MulComplexVec(s.CY, s.CW, s.CX)
+	fftfixed.ShlVec(s.CY, bShift)
+	fftfixed.IFFT(s.CY)
+	fftfixed.Real(dst, s.CY)
+}
+
+// WeightShift picks the largest power-of-two pre-scaling 2^s such that
+// max|w|·2^s stays below the Q15 ceiling with one bit of headroom.
+// Storing weights pre-scaled preserves precision through the 1/K FFT
+// attenuation (the overflow-aware computation of §III-B).
+func WeightShift(w []float64) uint {
+	var maxAbs float64
+	for _, v := range w {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	var s uint
+	for s < 14 && maxAbs*float64(int(1)<<(s+1)) < 0.5 {
+		s++
+	}
+	return s
+}

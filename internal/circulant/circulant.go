@@ -1,0 +1,315 @@
+// Package circulant implements block-circulant matrices (BCM), the
+// compression format RAD applies to fully connected layers (§II,
+// §III-A of the paper). A dense m×n weight matrix is partitioned into
+// k×k blocks, each constrained to be circulant and therefore defined
+// by a single length-k vector; matrix-vector multiplication becomes
+// per-block circular convolution, computable as
+// IFFT(FFT(w) ∘ FFT(x)) in O(k log k).
+//
+// The convolution orientation used throughout is
+//
+//	(C(w)·x)[r] = Σ_c w[(r-c) mod k] · x[c]  =  (w ⊛ x)[r]
+//
+// i.e. C(w)[r][c] = w[(r-c) mod k], matching the FFT identity the
+// paper's Algorithm 1 relies on.
+package circulant
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ehdl/internal/fftfixed"
+	"ehdl/internal/mat"
+)
+
+// CircConv returns the circular convolution w ⊛ x of two equal-length
+// vectors. For power-of-two lengths ≥ fftThreshold it uses the FFT
+// identity; otherwise the direct O(k²) sum.
+func CircConv(w, x []float64) []float64 {
+	if len(w) != len(x) {
+		panic("circulant: CircConv length mismatch")
+	}
+	k := len(w)
+	if k >= fftThreshold && fftfixed.IsPow2(k) {
+		return circConvFFT(w, x)
+	}
+	out := make([]float64, k)
+	for r := 0; r < k; r++ {
+		var s float64
+		for c := 0; c < k; c++ {
+			s += w[(r-c+k)%k] * x[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// CircCorr returns the circular cross-correlation
+// out[d] = Σ_r a[r] · b[(r-d) mod k], the adjoint of CircConv used by
+// backprop: dL/dw = CircCorr(dy, x) and dL/dx = CircCorr(dy, w).
+func CircCorr(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("circulant: CircCorr length mismatch")
+	}
+	k := len(a)
+	if k >= fftThreshold && fftfixed.IsPow2(k) {
+		return circCorrFFT(a, b)
+	}
+	out := make([]float64, k)
+	for d := 0; d < k; d++ {
+		var s float64
+		for r := 0; r < k; r++ {
+			s += a[r] * b[(r-d+k)%k]
+		}
+		out[d] = s
+	}
+	return out
+}
+
+// fftThreshold is the length at which the FFT path beats the direct
+// sum for the float helpers.
+const fftThreshold = 32
+
+func circConvFFT(w, x []float64) []float64 {
+	k := len(w)
+	wf := make([]complex128, k)
+	xf := make([]complex128, k)
+	for i := 0; i < k; i++ {
+		wf[i] = complex(w[i], 0)
+		xf[i] = complex(x[i], 0)
+	}
+	fftfixed.Float64FFT(wf)
+	fftfixed.Float64FFT(xf)
+	for i := range wf {
+		wf[i] *= xf[i]
+	}
+	fftfixed.Float64IFFT(wf)
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = real(wf[i])
+	}
+	return out
+}
+
+func circCorrFFT(a, b []float64) []float64 {
+	k := len(a)
+	af := make([]complex128, k)
+	bf := make([]complex128, k)
+	for i := 0; i < k; i++ {
+		af[i] = complex(a[i], 0)
+		bf[i] = complex(b[i], 0)
+	}
+	fftfixed.Float64FFT(af)
+	fftfixed.Float64FFT(bf)
+	for i := range af {
+		// conj(bf) implements correlation.
+		af[i] *= complex(real(bf[i]), -imag(bf[i]))
+	}
+	fftfixed.Float64IFFT(af)
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = real(af[i])
+	}
+	return out
+}
+
+// Dense expands the circulant matrix defined by w into its full k×k
+// form, C[r][c] = w[(r-c) mod k]. Test and documentation helper.
+func Dense(w []float64) *mat.Matrix {
+	k := len(w)
+	m := mat.New(k, k)
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			m.Set(r, c, w[(r-c+k)%k])
+		}
+	}
+	return m
+}
+
+// BCM is a block-circulant weight matrix for a fully connected layer
+// with logical shape OutDim×InDim. Dimensions that do not divide the
+// block size are zero-padded up to the block grid (P×Q blocks of size
+// K), exactly as CirCNN does; the padding never leaves the package.
+type BCM struct {
+	OutDim, InDim int // logical dense shape
+	K             int // circulant block size (power of two)
+	P, Q          int // block grid: P = ceil(OutDim/K), Q = ceil(InDim/K)
+	// Blocks[i][j] is the defining vector (length K) of block (i, j).
+	Blocks [][][]float64
+}
+
+// New returns a zero-initialized BCM for a logical out×in layer with
+// block size k. k must be a positive power of two.
+func New(out, in, k int) *BCM {
+	if out <= 0 || in <= 0 {
+		panic(fmt.Sprintf("circulant: invalid layer shape %dx%d", out, in))
+	}
+	if !fftfixed.IsPow2(k) {
+		panic(fmt.Sprintf("circulant: block size %d is not a power of two", k))
+	}
+	p := (out + k - 1) / k
+	q := (in + k - 1) / k
+	blocks := make([][][]float64, p)
+	for i := range blocks {
+		blocks[i] = make([][]float64, q)
+		for j := range blocks[i] {
+			blocks[i][j] = make([]float64, k)
+		}
+	}
+	return &BCM{OutDim: out, InDim: in, K: k, P: p, Q: q, Blocks: blocks}
+}
+
+// FromFlat builds a BCM whose defining vectors are views into flat,
+// laid out block-row-major: block (i,j) occupies
+// flat[(i·Q+j)·K : (i·Q+j+1)·K]. len(flat) must be P·Q·K. Mutating
+// flat mutates the BCM and vice versa — this is how the training
+// optimizer owns BCM parameters as one contiguous tensor.
+func FromFlat(out, in, k int, flat []float64) *BCM {
+	b := New(out, in, k)
+	if len(flat) != b.P*b.Q*b.K {
+		panic(fmt.Sprintf("circulant: FromFlat got %d params, want %d", len(flat), b.P*b.Q*b.K))
+	}
+	for i := 0; i < b.P; i++ {
+		for j := 0; j < b.Q; j++ {
+			off := (i*b.Q + j) * b.K
+			b.Blocks[i][j] = flat[off : off+b.K]
+		}
+	}
+	return b
+}
+
+// NewRandom returns a BCM with defining vectors drawn uniformly from
+// [-limit, limit].
+func NewRandom(out, in, k int, limit float64, rng *rand.Rand) *BCM {
+	b := New(out, in, k)
+	for i := range b.Blocks {
+		for j := range b.Blocks[i] {
+			for d := range b.Blocks[i][j] {
+				b.Blocks[i][j][d] = (rng.Float64()*2 - 1) * limit
+			}
+		}
+	}
+	return b
+}
+
+// MulVec computes y = B·x for a logical input of length InDim,
+// returning a logical output of length OutDim.
+func (b *BCM) MulVec(x []float64) []float64 {
+	if len(x) != b.InDim {
+		panic(fmt.Sprintf("circulant: MulVec got %d elements, want %d", len(x), b.InDim))
+	}
+	xp := make([]float64, b.Q*b.K)
+	copy(xp, x)
+	yp := make([]float64, b.P*b.K)
+	for i := 0; i < b.P; i++ {
+		yi := yp[i*b.K : (i+1)*b.K]
+		for j := 0; j < b.Q; j++ {
+			xj := xp[j*b.K : (j+1)*b.K]
+			conv := CircConv(b.Blocks[i][j], xj)
+			for d := range yi {
+				yi[d] += conv[d]
+			}
+		}
+	}
+	return yp[:b.OutDim]
+}
+
+// Backward computes the input gradient dx and the per-block weight
+// gradients for upstream gradient dy (length OutDim) and input x
+// (length InDim). The returned grads slice has the same [P][Q][K]
+// shape as Blocks.
+func (b *BCM) Backward(x, dy []float64) (dx []float64, grads [][][]float64) {
+	if len(x) != b.InDim || len(dy) != b.OutDim {
+		panic("circulant: Backward shape mismatch")
+	}
+	xp := make([]float64, b.Q*b.K)
+	copy(xp, x)
+	dyp := make([]float64, b.P*b.K)
+	copy(dyp, dy)
+
+	grads = make([][][]float64, b.P)
+	dxp := make([]float64, b.Q*b.K)
+	for i := 0; i < b.P; i++ {
+		grads[i] = make([][]float64, b.Q)
+		dyi := dyp[i*b.K : (i+1)*b.K]
+		for j := 0; j < b.Q; j++ {
+			xj := xp[j*b.K : (j+1)*b.K]
+			grads[i][j] = CircCorr(dyi, xj)
+			dxj := CircCorr(dyi, b.Blocks[i][j])
+			for d := 0; d < b.K; d++ {
+				dxp[j*b.K+d] += dxj[d]
+			}
+		}
+	}
+	return dxp[:b.InDim], grads
+}
+
+// Dense expands the BCM into the equivalent logical OutDim×InDim dense
+// matrix (padding rows/columns dropped). Test helper; O(OutDim·InDim).
+func (b *BCM) Dense() *mat.Matrix {
+	m := mat.New(b.OutDim, b.InDim)
+	for i := 0; i < b.P; i++ {
+		for j := 0; j < b.Q; j++ {
+			w := b.Blocks[i][j]
+			for r := 0; r < b.K; r++ {
+				gr := i*b.K + r
+				if gr >= b.OutDim {
+					break
+				}
+				for c := 0; c < b.K; c++ {
+					gc := j*b.K + c
+					if gc >= b.InDim {
+						continue
+					}
+					m.Set(gr, gc, w[(r-c+b.K)%b.K])
+				}
+			}
+		}
+	}
+	return m
+}
+
+// ParamCount returns the number of stored parameters (P·Q·K), the
+// quantity BCM compresses from OutDim·InDim.
+func (b *BCM) ParamCount() int { return b.P * b.Q * b.K }
+
+// Clone returns a deep copy of b.
+func (b *BCM) Clone() *BCM {
+	c := New(b.OutDim, b.InDim, b.K)
+	for i := range b.Blocks {
+		for j := range b.Blocks[i] {
+			copy(c.Blocks[i][j], b.Blocks[i][j])
+		}
+	}
+	return c
+}
+
+// Stats describes the storage effect of BCM compression on one layer,
+// the quantity tabulated in Table I of the paper.
+type Stats struct {
+	Rows, Cols     int
+	BlockSize      int
+	OriginalBytes  int     // rows·cols·4 (float32 weights, as Table I counts)
+	CompressedByte int     // ceil(rows/k)·ceil(cols/k)·k·4
+	ReductionPct   float64 // 100·(1 - compressed/original)
+	Ratio          float64 // original/compressed
+}
+
+// CompressionStats computes Table I's storage accounting for a
+// rows×cols FC layer compressed with block size k. Table I counts
+// 4 bytes per weight (the pre-quantization float32 model): a 512×512
+// kernel is listed as 1048576 bytes.
+func CompressionStats(rows, cols, k int) Stats {
+	const bytesPerWeight = 4
+	orig := rows * cols * bytesPerWeight
+	p := (rows + k - 1) / k
+	q := (cols + k - 1) / k
+	comp := p * q * k * bytesPerWeight
+	return Stats{
+		Rows: rows, Cols: cols, BlockSize: k,
+		OriginalBytes:  orig,
+		CompressedByte: comp,
+		ReductionPct:   100 * (1 - float64(comp)/float64(orig)),
+		Ratio:          float64(orig) / float64(comp),
+	}
+}

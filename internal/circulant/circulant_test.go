@@ -1,0 +1,318 @@
+package circulant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ehdl/internal/fixed"
+	"ehdl/internal/mat"
+)
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestCircConvMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 2, 4, 7, 8, 16, 32, 64} {
+		w := randVec(k, rng)
+		x := randVec(k, rng)
+		got := CircConv(w, x)
+		want := Dense(w).MulVec(x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("k=%d idx %d: conv %v, dense %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCircConvCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := 16
+	w := randVec(k, rng)
+	x := randVec(k, rng)
+	a := CircConv(w, x)
+	b := CircConv(x, w)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("circular convolution not commutative at %d", i)
+		}
+	}
+}
+
+func TestCircCorrIsAdjointOfCircConv(t *testing.T) {
+	// <CircConv(w,x), y> == <x, CircCorr(y,w)> for all w,x,y — the
+	// property backprop depends on.
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{4, 8, 32, 64} {
+		w := randVec(k, rng)
+		x := randVec(k, rng)
+		y := randVec(k, rng)
+		lhs := mat.Dot(CircConv(w, x), y)
+		rhs := mat.Dot(x, CircCorr(y, w))
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("k=%d: adjoint identity broken: %v vs %v", k, lhs, rhs)
+		}
+	}
+}
+
+func TestCircCorrFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k := 64 // above fftThreshold and a power of two: FFT path
+	a := randVec(k, rng)
+	b := randVec(k, rng)
+	got := CircCorr(a, b)
+	want := make([]float64, k)
+	for d := 0; d < k; d++ {
+		for r := 0; r < k; r++ {
+			want[d] += a[r] * b[(r-d+k)%k]
+		}
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("idx %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBCMMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct{ out, in, k int }{
+		{8, 8, 4},
+		{16, 8, 8},
+		{10, 6, 4}, // padding in both dims
+		{256, 256, 128},
+		{110, 64, 64}, // HAR-like padding
+	}
+	for _, c := range cases {
+		b := NewRandom(c.out, c.in, c.k, 0.5, rng)
+		x := randVec(c.in, rng)
+		got := b.MulVec(x)
+		want := b.Dense().MulVec(x)
+		if len(got) != c.out {
+			t.Fatalf("%+v: output length %d", c, len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%+v idx %d: %v vs %v", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBCMBackwardMatchesNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := NewRandom(6, 8, 4, 0.5, rng)
+	x := randVec(8, rng)
+	dy := randVec(6, rng)
+
+	// loss = <B x, dy>; gradient w.r.t. each block entry checked by
+	// central differences.
+	loss := func(bb *BCM) float64 { return mat.Dot(bb.MulVec(x), dy) }
+
+	dx, grads := b.Backward(x, dy)
+
+	const h = 1e-6
+	for i := range b.Blocks {
+		for j := range b.Blocks[i] {
+			for d := range b.Blocks[i][j] {
+				pb := b.Clone()
+				pb.Blocks[i][j][d] += h
+				mb := b.Clone()
+				mb.Blocks[i][j][d] -= h
+				num := (loss(pb) - loss(mb)) / (2 * h)
+				if math.Abs(num-grads[i][j][d]) > 1e-5 {
+					t.Fatalf("block (%d,%d)[%d]: analytic %v, numeric %v",
+						i, j, d, grads[i][j][d], num)
+				}
+			}
+		}
+	}
+	// dx check: loss as a function of x.
+	for c := range x {
+		xp := append([]float64(nil), x...)
+		xp[c] += h
+		xm := append([]float64(nil), x...)
+		xm[c] -= h
+		num := (mat.Dot(b.MulVec(xp), dy) - mat.Dot(b.MulVec(xm), dy)) / (2 * h)
+		if math.Abs(num-dx[c]) > 1e-5 {
+			t.Fatalf("dx[%d]: analytic %v, numeric %v", c, dx[c], num)
+		}
+	}
+}
+
+func TestBCMPaddedBackwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewRandom(10, 6, 4, 0.5, rng) // both dims padded
+	x := randVec(6, rng)
+	dy := randVec(10, rng)
+	dx, grads := b.Backward(x, dy)
+	if len(dx) != 6 {
+		t.Errorf("dx length %d, want 6", len(dx))
+	}
+	if len(grads) != b.P || len(grads[0]) != b.Q {
+		t.Errorf("grads shape %dx%d, want %dx%d", len(grads), len(grads[0]), b.P, b.Q)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []struct{ out, in, k int }{
+		{0, 4, 4}, {4, 0, 4}, {4, 4, 3}, {4, 4, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", bad)
+				}
+			}()
+			New(bad.out, bad.in, bad.k)
+		}()
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	b := New(256, 256, 128)
+	if got := b.ParamCount(); got != 2*2*128 {
+		t.Errorf("ParamCount = %d, want 512", got)
+	}
+	// 3520x128 with k=128 pads 3520 -> 28 blocks.
+	b = New(3520, 128, 128)
+	if b.P != 28 || b.Q != 1 {
+		t.Errorf("grid %dx%d, want 28x1", b.P, b.Q)
+	}
+}
+
+// TestTable1Compression reproduces Table I of the paper exactly: BCM
+// storage reduction for a 512×512 FC layer at 16-bit precision.
+func TestTable1Compression(t *testing.T) {
+	cases := []struct {
+		k          int
+		wantBytes  int
+		wantReduce float64
+	}{
+		{16, 65536, 93.75},
+		{32, 32768, 96.87},
+		{64, 16384, 98.43},
+		{128, 8192, 99.21},
+		{256, 4096, 99.60},
+	}
+	for _, c := range cases {
+		s := CompressionStats(512, 512, c.k)
+		if s.OriginalBytes != 1048576 {
+			t.Fatalf("original bytes = %d, want 1048576", s.OriginalBytes)
+		}
+		if s.CompressedByte != c.wantBytes {
+			t.Errorf("k=%d: compressed %d bytes, want %d", c.k, s.CompressedByte, c.wantBytes)
+		}
+		if math.Abs(s.ReductionPct-c.wantReduce) > 0.01 {
+			t.Errorf("k=%d: reduction %.2f%%, want %.2f%%", c.k, s.ReductionPct, c.wantReduce)
+		}
+	}
+}
+
+func TestMulBlockAlg1MatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, k := range []int{8, 32, 128} {
+		// Weights small (post-normalization), inputs in [-1,1].
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = (rng.Float64()*2 - 1) * (2.0 / float64(k))
+		}
+		x := randVec(k, rng)
+		want := CircConv(w, x)
+
+		shift := WeightShift(w)
+		wq := make([]fixed.Q15, k)
+		for i := range w {
+			wq[i] = fixed.FromFloat(w[i] * float64(int(1)<<shift))
+		}
+		xq := fixed.FromFloats(x)
+		dst := make([]fixed.Q15, k)
+		MulBlockAlg1(dst, wq, xq, shift, NewAlg1Scratch(k))
+
+		for i := range want {
+			if math.Abs(dst[i].Float()-want[i]) > 0.02 {
+				t.Fatalf("k=%d idx %d: fixed %v, float %v (shift=%d)",
+					k, i, dst[i].Float(), want[i], shift)
+			}
+		}
+	}
+}
+
+func TestMulBlockAlg1EquivalentDenseQ15(t *testing.T) {
+	// Property: the Algorithm 1 kernel agrees with the expanded dense
+	// circulant multiply for random Q15 data.
+	rng := rand.New(rand.NewSource(9))
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 16
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = (r.Float64()*2 - 1) * 0.05
+		}
+		x := randVec(k, r)
+		shift := WeightShift(w)
+		wq := make([]fixed.Q15, k)
+		for i := range w {
+			wq[i] = fixed.FromFloat(w[i] * float64(int(1)<<shift))
+		}
+		dst := make([]fixed.Q15, k)
+		MulBlockAlg1(dst, wq, fixed.FromFloats(x), shift, NewAlg1Scratch(k))
+		want := Dense(w).MulVec(x)
+		for i := range want {
+			if math.Abs(dst[i].Float()-want[i]) > 0.02 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25, Rand: rng})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightShift(t *testing.T) {
+	if got := WeightShift([]float64{0, 0}); got != 0 {
+		t.Errorf("WeightShift(zeros) = %d", got)
+	}
+	// max|w| = 0.01: can shift left 5 times (0.01*32 = 0.32 < 0.5,
+	// 0.01*64 = 0.64 >= 0.5).
+	if got := WeightShift([]float64{0.01, -0.005}); got != 5 {
+		t.Errorf("WeightShift = %d, want 5", got)
+	}
+	// Already large weights need no shift.
+	if got := WeightShift([]float64{0.9}); got != 0 {
+		t.Errorf("WeightShift(0.9) = %d, want 0", got)
+	}
+	// Tiny weights are capped at 14.
+	if got := WeightShift([]float64{1e-9}); got != 14 {
+		t.Errorf("WeightShift(1e-9) = %d, want cap 14", got)
+	}
+}
+
+func TestMulBlockAlg1Validation(t *testing.T) {
+	s := NewAlg1Scratch(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two")
+		}
+	}()
+	MulBlockAlg1(make([]fixed.Q15, 6), make([]fixed.Q15, 6), make([]fixed.Q15, 6), 0, s)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := NewRandom(8, 8, 4, 0.5, rng)
+	c := b.Clone()
+	c.Blocks[0][0][0] = 99
+	if b.Blocks[0][0][0] == 99 {
+		t.Error("Clone shares block storage")
+	}
+}

@@ -1,0 +1,126 @@
+// Package core ties the paper's three contributions together: RAD
+// produces a compressed fixed-point model, ACE (or a baseline runtime)
+// executes it on the simulated device, and FLEX keeps it correct
+// across power failures. The root ehdl package re-exports this API.
+package core
+
+import (
+	"fmt"
+
+	"ehdl/internal/ace"
+	"ehdl/internal/baseline"
+	"ehdl/internal/device"
+	"ehdl/internal/exec"
+	"ehdl/internal/fixed"
+	"ehdl/internal/flex"
+	"ehdl/internal/harvest"
+	"ehdl/internal/intermittent"
+	"ehdl/internal/quant"
+	"ehdl/internal/sonic"
+	"ehdl/internal/tails"
+)
+
+// EngineKind selects a runtime implementation.
+type EngineKind string
+
+// The four runtimes of the paper's evaluation.
+const (
+	EngineBase    EngineKind = "base"
+	EngineSONIC   EngineKind = "sonic"
+	EngineTAILS   EngineKind = "tails"
+	EngineACE     EngineKind = "ace"
+	EngineACEFLEX EngineKind = "ace+flex"
+)
+
+// AllEngines lists every runtime in presentation order.
+func AllEngines() []EngineKind {
+	return []EngineKind{EngineBase, EngineSONIC, EngineTAILS, EngineACE, EngineACEFLEX}
+}
+
+// NewEngine constructs the chosen runtime over a flashed model store.
+// fxCfg applies only to EngineACEFLEX (nil = flex.DefaultConfig).
+func NewEngine(kind EngineKind, d *device.Device, store *exec.ModelStore, input []fixed.Q15, fxCfg *flex.Config) (exec.Engine, error) {
+	switch kind {
+	case EngineBase:
+		return baseline.New(d, store, input)
+	case EngineSONIC:
+		return sonic.New(d, store, input)
+	case EngineTAILS:
+		return tails.New(d, store, input)
+	case EngineACE:
+		return ace.New(d, store, input, nil)
+	case EngineACEFLEX:
+		cfg := flex.DefaultConfig()
+		if fxCfg != nil {
+			cfg = *fxCfg
+		}
+		maxK := 0
+		for _, l := range store.Model.Layers {
+			if l.Spec.Kind == "bcm" && l.Spec.K > maxK {
+				maxK = l.Spec.K
+			}
+		}
+		fx, err := flex.NewController(d, maxK, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return ace.New(d, store, input, fx)
+	}
+	return nil, fmt.Errorf("core: unknown engine %q", kind)
+}
+
+// InferContinuous measures one inference on bench power.
+func InferContinuous(kind EngineKind, m *quant.Model, input []fixed.Q15) (exec.Report, error) {
+	d := device.New(device.DefaultCosts(), device.Continuous{})
+	store, err := exec.NewModelStore(d, m)
+	if err != nil {
+		return exec.Report{}, err
+	}
+	eng, err := NewEngine(kind, d, store, input, nil)
+	if err != nil {
+		return exec.Report{}, err
+	}
+	return exec.RunContinuous(d, eng)
+}
+
+// HarvestSetup describes an energy-harvesting experiment.
+type HarvestSetup struct {
+	Config  harvest.Config
+	Profile harvest.Profile
+	// FlexConfig overrides FLEX's policy (nil = default).
+	FlexConfig *flex.Config
+	// Runner overrides runner limits (nil = defaults).
+	Runner *intermittent.Runner
+}
+
+// PaperHarvestSetup returns the paper's experimental configuration: a
+// 100 µF capacitor charged by a square-wave source (the SIGLENT
+// function generator at 5 mW peak, 50% duty, 100 ms period).
+func PaperHarvestSetup() HarvestSetup {
+	return HarvestSetup{
+		Config:  harvest.PaperConfig(),
+		Profile: harvest.SquareProfile{PeakWatts: 5e-3, Period: 0.1, Duty: 0.5},
+	}
+}
+
+// InferIntermittent measures one inference under harvested power.
+func InferIntermittent(kind EngineKind, m *quant.Model, input []fixed.Q15, setup HarvestSetup) (exec.Report, error) {
+	supply, err := harvest.NewCapacitor(setup.Config, setup.Profile)
+	if err != nil {
+		return exec.Report{}, err
+	}
+	d := device.New(device.DefaultCosts(), supply)
+	store, err := exec.NewModelStore(d, m)
+	if err != nil {
+		return exec.Report{}, err
+	}
+	eng, err := NewEngine(kind, d, store, input, setup.FlexConfig)
+	if err != nil {
+		return exec.Report{}, err
+	}
+	runner := setup.Runner
+	if runner == nil {
+		runner = &intermittent.Runner{}
+	}
+	return exec.RunIntermittent(d, eng, runner), nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ehdl/internal/device"
+	"ehdl/internal/exec"
+	"ehdl/internal/fixed"
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
+)
+
+func tinyModel(t *testing.T) *quant.Model {
+	t.Helper()
+	arch := &nn.Arch{
+		Name: "tiny", InShape: [3]int{1, 1, 16}, NumClasses: 4,
+		Specs: []nn.LayerSpec{
+			{Kind: "bcm", In: 16, Out: 8, K: 8},
+			{Kind: "relu", N: 8},
+			{Kind: "dense", In: 8, Out: 4},
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	net := arch.Build(rng)
+	calib := make([][]float64, 3)
+	for i := range calib {
+		x := make([]float64, 16)
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		calib[i] = x
+	}
+	m, err := quant.Quantize(net, arch, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewEngineAllKinds(t *testing.T) {
+	m := tinyModel(t)
+	in := make([]fixed.Q15, 16)
+	for _, kind := range AllEngines() {
+		d := device.New(device.DefaultCosts(), device.Continuous{})
+		store, err := exec.NewModelStore(d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(kind, d, store, in, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if eng.EngineName() != string(kind) {
+			t.Errorf("engine %q reports name %q", kind, eng.EngineName())
+		}
+	}
+}
+
+func TestNewEngineUnknownKind(t *testing.T) {
+	m := tinyModel(t)
+	d := device.New(device.DefaultCosts(), device.Continuous{})
+	store, err := exec.NewModelStore(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine("mystery", d, store, make([]fixed.Q15, 16), nil); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestInferContinuousSmoke(t *testing.T) {
+	m := tinyModel(t)
+	in := make([]fixed.Q15, 16)
+	for i := range in {
+		in[i] = fixed.FromFloat(0.1 * float64(i%5))
+	}
+	for _, kind := range AllEngines() {
+		rep, err := InferContinuous(kind, m, in)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if rep.Predicted < 0 || rep.Predicted >= 4 {
+			t.Errorf("%s: predicted %d", kind, rep.Predicted)
+		}
+		if rep.Stats.TotalEnergynJ <= 0 {
+			t.Errorf("%s: no energy accounted", kind)
+		}
+	}
+}
+
+func TestInferIntermittentSmoke(t *testing.T) {
+	m := tinyModel(t)
+	in := make([]fixed.Q15, 16)
+	rep, err := InferIntermittent(EngineACEFLEX, m, in, PaperHarvestSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Intermittent == nil {
+		t.Fatal("no intermittent result")
+	}
+	if !rep.Intermittent.Completed {
+		t.Errorf("tiny model should complete: %+v", rep.Intermittent)
+	}
+}
+
+func TestPaperHarvestSetup(t *testing.T) {
+	s := PaperHarvestSetup()
+	if s.Config.CapacitanceF != 100e-6 {
+		t.Errorf("capacitance %v", s.Config.CapacitanceF)
+	}
+	if s.Config.VOn != 3.3 || s.Config.VOff != 1.8 {
+		t.Errorf("thresholds %+v", s.Config)
+	}
+}
+
+func TestAllEnginesOrder(t *testing.T) {
+	kinds := AllEngines()
+	if len(kinds) != 5 || kinds[0] != EngineBase || kinds[4] != EngineACEFLEX {
+		t.Errorf("AllEngines = %v", kinds)
+	}
+}

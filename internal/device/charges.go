@@ -1,0 +1,115 @@
+package device
+
+// Charge helpers: one call per architectural operation. Each helper
+// computes cycles and energy from the cost table and routes them to
+// the right meter category. Callers perform the actual arithmetic in
+// Go immediately after the helper returns.
+
+// CPUOps charges n generic single-cycle ALU operations.
+func (d *Device) CPUOps(n int) {
+	c := uint64(n) * d.Costs.CPUOpCycles
+	d.Consume(CatCPU, c, float64(c)*d.Costs.CPUCyclenJ)
+}
+
+// CPUMACs charges an n-element software multiply-accumulate loop (the
+// BASE/SONIC inner loop, using the memory-mapped hardware multiplier).
+func (d *Device) CPUMACs(n int) {
+	c := uint64(n) * d.Costs.CPUMACCycles
+	d.Consume(CatCPU, c, float64(c)*d.Costs.CPUCyclenJ)
+}
+
+// SRAMAccess charges n CPU-driven word accesses to SRAM.
+func (d *Device) SRAMAccess(words int) {
+	c := uint64(words) * d.Costs.SRAMWordCycles
+	d.Consume(CatSRAM, c, float64(c)*d.Costs.CPUCyclenJ+float64(words)*d.Costs.SRAMWordnJ)
+}
+
+// FRAMRead charges n CPU-driven word reads from FRAM to the given
+// category (CatFRAMRead normally, CatRestore during post-outage
+// reloads).
+func (d *Device) FRAMRead(words int, cat Category) {
+	c := uint64(words) * d.Costs.FRAMReadWordCycles
+	d.Consume(cat, c, float64(c)*d.Costs.CPUCyclenJ+float64(words)*d.Costs.FRAMReadWordnJ)
+}
+
+// FRAMWrite charges n CPU-driven word writes to FRAM to the given
+// category (CatFRAMWrite normally, CatCheckpoint for progress
+// commits).
+func (d *Device) FRAMWrite(words int, cat Category) {
+	c := uint64(words) * d.Costs.FRAMWriteWordCycles
+	d.Consume(cat, c, float64(c)*d.Costs.CPUCyclenJ+float64(words)*d.Costs.FRAMWriteWordnJ)
+}
+
+// DMA charges a words-long DMA transfer; the CPU sleeps in LPM0 while
+// the engine moves data (ACE's bulk movement, Fig. 3).
+func (d *Device) DMA(words int) {
+	c := d.Costs.DMASetupCycles + uint64(words)*d.Costs.DMAWordCycles
+	nJ := float64(d.Costs.DMASetupCycles)*d.Costs.CPUCyclenJ +
+		float64(uint64(words)*d.Costs.DMAWordCycles)*d.Costs.LPMCyclenJ +
+		float64(words)*d.Costs.DMAWordnJ
+	d.Consume(CatDMA, c, nJ)
+}
+
+// leaCharge charges an LEA operation of the given core-cycle count:
+// LEA core energy plus the sleeping CPU in parallel.
+func (d *Device) leaCharge(cycles uint64) {
+	nJ := float64(cycles) * (d.Costs.LEACyclenJ + d.Costs.LPMCyclenJ)
+	d.Consume(CatLEA, cycles, nJ)
+}
+
+// LEAMAC charges an n-element vector multiply-accumulate on the LEA.
+func (d *Device) LEAMAC(n int) {
+	d.leaCharge(d.Costs.LEASetupCycles + uint64(n)*d.Costs.LEAMACCyclesPerElem)
+}
+
+// LEAAdd charges an n-element vector add on the LEA.
+func (d *Device) LEAAdd(n int) {
+	d.leaCharge(d.Costs.LEASetupCycles + uint64(n)*d.Costs.LEAAddCyclesPerElem)
+}
+
+// LEACMul charges an n-element element-wise complex multiply (the MPY
+// stage of Algorithm 1).
+func (d *Device) LEACMul(n int) {
+	d.leaCharge(d.Costs.LEASetupCycles + uint64(n)*d.Costs.LEACMulCyclesPerElem)
+}
+
+// LEAFFT charges an n-point complex FFT or IFFT on the LEA
+// (n/2·log2(n) radix-2 butterflies).
+func (d *Device) LEAFFT(n int) {
+	butterflies := uint64(0)
+	if n > 1 {
+		log2 := uint64(0)
+		for v := n; v > 1; v >>= 1 {
+			log2++
+		}
+		butterflies = uint64(n/2) * log2
+	}
+	d.leaCharge(d.Costs.LEASetupCycles + butterflies*d.Costs.LEAFFTButterflyCycles)
+}
+
+// DMAToFRAM charges a words-long DMA transfer whose destination is
+// FRAM: DMA movement plus the FRAM write premium per word.
+func (d *Device) DMAToFRAM(words int, cat Category) {
+	c := d.Costs.DMASetupCycles + uint64(words)*d.Costs.DMAWordCycles
+	nJ := float64(d.Costs.DMASetupCycles)*d.Costs.CPUCyclenJ +
+		float64(uint64(words)*d.Costs.DMAWordCycles)*d.Costs.LPMCyclenJ +
+		float64(words)*(d.Costs.DMAWordnJ+d.Costs.FRAMWriteWordnJ)
+	d.Consume(cat, c, nJ)
+}
+
+// DMAFromFRAM charges a words-long DMA transfer whose source is FRAM:
+// DMA movement plus the FRAM read premium per word.
+func (d *Device) DMAFromFRAM(words int, cat Category) {
+	c := d.Costs.DMASetupCycles + uint64(words)*d.Costs.DMAWordCycles
+	nJ := float64(d.Costs.DMASetupCycles)*d.Costs.CPUCyclenJ +
+		float64(uint64(words)*d.Costs.DMAWordCycles)*d.Costs.LPMCyclenJ +
+		float64(words)*(d.Costs.DMAWordnJ+d.Costs.FRAMReadWordnJ)
+	d.Consume(cat, c, nJ)
+}
+
+// MonitorSample charges one voltage-monitor ADC sample and returns the
+// rail voltage (FLEX's on-demand checkpoint trigger).
+func (d *Device) MonitorSample() float64 {
+	d.Consume(CatMonitor, d.Costs.ADCSampleCycles, d.Costs.ADCSamplenJ)
+	return d.supply.Voltage()
+}

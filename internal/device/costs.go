@@ -1,0 +1,165 @@
+package device
+
+// Costs is the latency/energy table of the simulated MCU. The default
+// values approximate TI's MSP430FR5994 (16 MHz, 3.0 V) from its
+// datasheet and the LEA application report (TI SLAA720); they are
+// deliberately simple per-unit constants. The paper's claims are
+// ratios between runtimes sharing one cost table, so what matters is
+// that the *relative* prices (CPU vs LEA vs DMA vs FRAM) are faithful,
+// not the absolute nanojoule values.
+type Costs struct {
+	// ClockHz is the CPU/LEA clock frequency.
+	ClockHz float64
+
+	// CPUCyclenJ is the energy of one active-mode CPU cycle
+	// (~120 µA/MHz at 3.0 V ≈ 0.36 nJ/cycle at 16 MHz).
+	CPUCyclenJ float64
+	// LPMCyclenJ is the energy of one cycle spent in LPM0 while a
+	// peripheral (LEA or DMA) works autonomously.
+	LPMCyclenJ float64
+	// LEACyclenJ is the energy of one LEA core cycle, excluding the
+	// sleeping CPU (which is billed at LPMCyclenJ in parallel).
+	LEACyclenJ float64
+
+	// FRAMReadWordnJ / FRAMWriteWordnJ are the per-16-bit-word energy
+	// premiums of FRAM accesses over register operations. Writes are
+	// several times costlier than reads on FRAM.
+	FRAMReadWordnJ  float64
+	FRAMWriteWordnJ float64
+	// SRAMWordnJ is the per-word premium of an SRAM access (small:
+	// zero-wait-state memory).
+	SRAMWordnJ float64
+	// DMAWordnJ is the total per-word energy of a DMA transfer; the
+	// DMA engine moves words without CPU fetch/decode overhead, which
+	// is why it is cheaper than CPUCyclenJ-driven copies.
+	DMAWordnJ float64
+
+	// FRAMReadWordCycles / FRAMWriteWordCycles are CPU cycles per word
+	// for CPU-driven FRAM access (wait states at 16 MHz).
+	FRAMReadWordCycles  uint64
+	FRAMWriteWordCycles uint64
+	// SRAMWordCycles is CPU cycles per word for CPU-driven SRAM moves.
+	SRAMWordCycles uint64
+	// DMASetupCycles is the fixed cost of programming a DMA channel;
+	// DMAWordCycles the per-word transfer cost.
+	DMASetupCycles uint64
+	DMAWordCycles  uint64
+
+	// LEASetupCycles is the fixed cost of writing an LEA command block
+	// and waking the accelerator.
+	LEASetupCycles uint64
+	// LEAMACCyclesPerElem is LEA cycles per element of a vector MAC.
+	LEAMACCyclesPerElem uint64
+	// LEACMulCyclesPerElem is LEA cycles per element of a complex
+	// element-wise multiply.
+	LEACMulCyclesPerElem uint64
+	// LEAAddCyclesPerElem is LEA cycles per element of a vector add.
+	LEAAddCyclesPerElem uint64
+	// LEAFFTButterflyCycles is LEA cycles per radix-2 butterfly; an
+	// N-point FFT costs LEASetup + (N/2)·log2(N)·this.
+	LEAFFTButterflyCycles uint64
+
+	// CPUMACCycles is the software multiply-accumulate cost per
+	// element (hardware multiplier via memory-mapped registers, load,
+	// add, index update).
+	CPUMACCycles uint64
+	// CPUOpCycles is a generic single ALU operation (compare, add,
+	// branch) used for control overhead.
+	CPUOpCycles uint64
+
+	// ADCSampleCycles / ADCSamplenJ price one voltage-monitor sample
+	// (FLEX's on-demand trigger: a comparator-based supervisor read,
+	// far cheaper than a full ADC conversion).
+	ADCSampleCycles uint64
+	ADCSamplenJ     float64
+
+	// SRAMBytes and FRAMBytes are the memory capacities.
+	SRAMBytes int
+	FRAMBytes int
+}
+
+// DefaultCosts returns the MSP430FR5994 approximation described above.
+// The energy constants are system-level (what EnergyTrace sees: core +
+// FRAM controller + board regulator), roughly 5× the bare-core
+// datasheet numbers — calibrated so that one paper-model inference
+// costs low single-digit millijoules, as the paper's Fig. 7(c)
+// reports, and therefore exceeds the ~0.38 mJ a 100 µF capacitor
+// charge can deliver (the premise of Fig. 7(b)'s DNF entries).
+func DefaultCosts() Costs {
+	return Costs{
+		ClockHz: 16e6,
+
+		CPUCyclenJ: 1.8,
+		LPMCyclenJ: 0.22,
+		LEACyclenJ: 0.55,
+
+		FRAMReadWordnJ:  4.5,
+		FRAMWriteWordnJ: 13,
+		SRAMWordnJ:      0.4,
+		DMAWordnJ:       1.75,
+
+		FRAMReadWordCycles:  2,
+		FRAMWriteWordCycles: 4,
+		SRAMWordCycles:      2,
+		DMASetupCycles:      28,
+		DMAWordCycles:       2,
+
+		LEASetupCycles:        44,
+		LEAMACCyclesPerElem:   1,
+		LEACMulCyclesPerElem:  2,
+		LEAAddCyclesPerElem:   1,
+		LEAFFTButterflyCycles: 4,
+
+		CPUMACCycles: 9,
+		CPUOpCycles:  1,
+
+		ADCSampleCycles: 30,
+		ADCSamplenJ:     40,
+
+		SRAMBytes: 8 * 1024,
+		FRAMBytes: 256 * 1024,
+	}
+}
+
+// Category identifies the consumer of a charged operation for the
+// EnergyTrace-style breakdown (Fig. 7(c)).
+type Category int
+
+// Energy meter categories.
+const (
+	CatCPU Category = iota
+	CatLEA
+	CatDMA
+	CatFRAMRead
+	CatFRAMWrite
+	CatSRAM
+	CatCheckpoint // FLEX/SONIC/TAILS progress commits
+	CatRestore    // post-outage state reloads
+	CatMonitor    // voltage-monitor samples
+	NumCategories
+)
+
+// String returns the category name used in reports.
+func (c Category) String() string {
+	switch c {
+	case CatCPU:
+		return "cpu"
+	case CatLEA:
+		return "lea"
+	case CatDMA:
+		return "dma"
+	case CatFRAMRead:
+		return "fram-read"
+	case CatFRAMWrite:
+		return "fram-write"
+	case CatSRAM:
+		return "sram"
+	case CatCheckpoint:
+		return "checkpoint"
+	case CatRestore:
+		return "restore"
+	case CatMonitor:
+		return "monitor"
+	}
+	return "unknown"
+}

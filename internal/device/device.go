@@ -1,0 +1,171 @@
+// Package device simulates the target microcontroller: an
+// MSP430FR5994-class machine with a 16 MHz CPU, an 8 KB volatile SRAM,
+// a 256 KB nonvolatile FRAM, a DMA engine and TI's Low-Energy
+// Accelerator. Computation is performed natively in Go; the simulator
+// accounts the *cost* of each operation in cycles and nanojoules, and
+// mediates every joule through a power supply so that energy-harvesting
+// brownouts interrupt execution exactly where the budget runs out.
+//
+// The charging discipline is: a runtime calls a charge method (CPUOp,
+// LEAFFT, FRAMWrite, ...) immediately BEFORE applying the state change
+// the charge pays for. If the supply cannot deliver, the charge call
+// panics with PowerFailure before the mutation happens, so each charged
+// chunk is atomic with respect to power loss — the granularity at which
+// intermittent-computing systems reason about forward progress.
+package device
+
+import (
+	"fmt"
+)
+
+// PowerFailure is the panic value raised when the supply browns out
+// mid-operation. The intermittent runner recovers it; nothing else
+// should.
+type PowerFailure struct{}
+
+func (PowerFailure) String() string { return "power failure" }
+
+// Supply mediates energy delivery. Implementations: harvest.Capacitor
+// (intermittent) and Continuous (bench supply).
+type Supply interface {
+	// Draw removes nJ nanojoules over dt seconds of device activity,
+	// harvesting in parallel if applicable. It reports false when the
+	// stored energy fell below the brownout threshold, in which case
+	// the draw did not complete.
+	Draw(nJ float64, dt float64) bool
+	// Voltage returns the current supply voltage, for FLEX's monitor.
+	Voltage() float64
+	// Recharge simulates device-off time until the supply can power a
+	// boot again. It returns the off-time in seconds and false if the
+	// supply can never recover (e.g. harvesting stopped).
+	Recharge() (offTime float64, ok bool)
+}
+
+// Continuous is a bench power supply: infinite energy at a fixed
+// voltage. The zero value is ready to use.
+type Continuous struct{}
+
+// Draw always succeeds.
+func (Continuous) Draw(nJ, dt float64) bool { return true }
+
+// Voltage reports a full rail.
+func (Continuous) Voltage() float64 { return 3.3 }
+
+// Recharge is instantaneous (and never needed).
+func (Continuous) Recharge() (float64, bool) { return 0, true }
+
+// Device is the simulated MCU. Not safe for concurrent use: the target
+// is a single-core microcontroller and the simulation is synchronous.
+type Device struct {
+	Costs  Costs
+	supply Supply
+
+	cycles     uint64  // active cycles since construction
+	offSeconds float64 // accumulated recharge time
+	boots      uint64  // number of reboots after power failures
+
+	energy [NumCategories]float64 // nJ per category
+
+	sramUsed  int
+	sramZones []func() // wipers for volatile allocations
+	framUsed  int
+}
+
+// New returns a Device with the given cost table powered by supply.
+func New(costs Costs, supply Supply) *Device {
+	return &Device{Costs: costs, supply: supply}
+}
+
+// Consume charges cycles and nJ to category cat, drawing from the
+// supply. It panics with PowerFailure when the supply browns out.
+// Runtimes normally use the higher-level charge helpers in charges.go.
+func (d *Device) Consume(cat Category, cycles uint64, nJ float64) {
+	dt := float64(cycles) / d.Costs.ClockHz
+	if !d.supply.Draw(nJ, dt) {
+		panic(PowerFailure{})
+	}
+	d.cycles += cycles
+	d.energy[cat] += nJ
+}
+
+// Voltage samples the supply rail WITHOUT charging the ADC cost; use
+// MonitorSample for a charged sample.
+func (d *Device) Voltage() float64 { return d.supply.Voltage() }
+
+// Reboot simulates a power-failure restart: recharge the supply, wipe
+// every SRAM allocation, and count the boot. It returns false when the
+// supply can never recover.
+func (d *Device) Reboot() bool {
+	off, ok := d.supply.Recharge()
+	if !ok {
+		return false
+	}
+	d.offSeconds += off
+	d.boots++
+	for _, wipe := range d.sramZones {
+		wipe()
+	}
+	return true
+}
+
+// AllocSRAM registers a volatile allocation of n elements of wordBytes
+// bytes each, returning an error when the 8 KB SRAM would overflow.
+// The returned register function is called by the allocator below.
+func (d *Device) reserveSRAM(bytes int, wipe func()) error {
+	if d.sramUsed+bytes > d.Costs.SRAMBytes {
+		return fmt.Errorf("device: SRAM overflow: %d B used, %d B requested, %d B capacity",
+			d.sramUsed, bytes, d.Costs.SRAMBytes)
+	}
+	d.sramUsed += bytes
+	d.sramZones = append(d.sramZones, wipe)
+	return nil
+}
+
+// ReserveFRAM accounts a persistent allocation of the given size
+// (model weights, checkpoint areas). It returns an error when the
+// 256 KB FRAM would overflow — RAD's architecture search uses this as
+// its hard constraint.
+func (d *Device) ReserveFRAM(bytes int) error {
+	if d.framUsed+bytes > d.Costs.FRAMBytes {
+		return fmt.Errorf("device: FRAM overflow: %d B used, %d B requested, %d B capacity",
+			d.framUsed, bytes, d.Costs.FRAMBytes)
+	}
+	d.framUsed += bytes
+	return nil
+}
+
+// SRAMUsed returns the bytes of SRAM currently reserved.
+func (d *Device) SRAMUsed() int { return d.sramUsed }
+
+// FRAMUsed returns the bytes of FRAM currently reserved.
+func (d *Device) FRAMUsed() int { return d.framUsed }
+
+// Stats is a snapshot of the device's accounting.
+type Stats struct {
+	ActiveCycles  uint64
+	ActiveSeconds float64
+	OffSeconds    float64
+	WallSeconds   float64
+	Boots         uint64
+	Energy        [NumCategories]float64 // nJ
+	TotalEnergynJ float64
+}
+
+// Stats returns the current accounting snapshot.
+func (d *Device) Stats() Stats {
+	s := Stats{
+		ActiveCycles:  d.cycles,
+		ActiveSeconds: float64(d.cycles) / d.Costs.ClockHz,
+		OffSeconds:    d.offSeconds,
+		Boots:         d.boots,
+		Energy:        d.energy,
+	}
+	s.WallSeconds = s.ActiveSeconds + s.OffSeconds
+	for _, e := range d.energy {
+		s.TotalEnergynJ += e
+	}
+	return s
+}
+
+// EnergymJ returns the total consumed energy in millijoules.
+func (s Stats) EnergymJ() float64 { return s.TotalEnergynJ * 1e-6 }

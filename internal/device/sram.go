@@ -1,0 +1,83 @@
+package device
+
+import (
+	"ehdl/internal/fftfixed"
+	"ehdl/internal/fixed"
+)
+
+// SRAM allocators. Buffers returned here model the 8 KB on-chip SRAM:
+// they are zeroed on every reboot, so any value a runtime wants to
+// survive a power failure must be committed to FRAM through the NV
+// types instead. Allocation is permanent for the device's lifetime
+// (embedded firmware allocates statically).
+
+// AllocQ15 reserves a volatile Q15 vector of length n.
+func AllocQ15(d *Device, n int) ([]fixed.Q15, error) {
+	buf := make([]fixed.Q15, n)
+	err := d.reserveSRAM(2*n, func() {
+		for i := range buf {
+			buf[i] = 0
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AllocComplex reserves a volatile complex Q15 vector of length n
+// (4 bytes per element: interleaved re/im).
+func AllocComplex(d *Device, n int) ([]fftfixed.Complex, error) {
+	buf := make([]fftfixed.Complex, n)
+	err := d.reserveSRAM(4*n, func() {
+		for i := range buf {
+			buf[i] = fftfixed.Complex{}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AllocQ31 reserves a volatile Q31 accumulator vector of length n.
+func AllocQ31(d *Device, n int) ([]fixed.Q31, error) {
+	buf := make([]fixed.Q31, n)
+	err := d.reserveSRAM(4*n, func() {
+		for i := range buf {
+			buf[i] = 0
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MustAllocQ15 is AllocQ15 that panics on SRAM exhaustion, for
+// construction paths where the capacity was already planned.
+func MustAllocQ15(d *Device, n int) []fixed.Q15 {
+	buf, err := AllocQ15(d, n)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// MustAllocComplex is AllocComplex that panics on SRAM exhaustion.
+func MustAllocComplex(d *Device, n int) []fftfixed.Complex {
+	buf, err := AllocComplex(d, n)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// MustAllocQ31 is AllocQ31 that panics on SRAM exhaustion.
+func MustAllocQ31(d *Device, n int) []fixed.Q31 {
+	buf, err := AllocQ31(d, n)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}

@@ -1,0 +1,191 @@
+// Package exec holds the pieces shared by the four on-device
+// inference engines (BASE, SONIC, TAILS, ACE/FLEX): the FRAM-resident
+// model image, input/output plumbing, and the Engine contract.
+//
+// Engine discipline for intermittent correctness: Boot is the reset
+// vector. An engine may keep, across Boot calls, only (a) static
+// configuration, (b) device-allocated SRAM arenas (wiped by the
+// runner on reboot) and (c) nonvolatile state in device NV types.
+// Per-inference progress must never live in plain Go struct fields —
+// that would be RAM that magically survives a power failure.
+package exec
+
+import (
+	"fmt"
+
+	"ehdl/internal/device"
+	"ehdl/internal/fixed"
+	"ehdl/internal/intermittent"
+	"ehdl/internal/quant"
+)
+
+// Engine is one runtime implementation executing one inference.
+type Engine interface {
+	intermittent.Program
+	// EngineName identifies the runtime ("base", "sonic", ...).
+	EngineName() string
+	// Output returns the logits after a completed run (uncharged
+	// host-side read; the logits live in FRAM).
+	Output() []fixed.Q15
+}
+
+// ModelStore is the FRAM image of a quantized model: weights and
+// biases per layer, flashed before deployment (uncharged — firmware
+// programming happens off-device).
+//
+// For shape-pruned conv layers the store keeps only the kept positions
+// per filter (compact layout [oc][kept]), which is what gives pruning
+// its storage and bandwidth win.
+type ModelStore struct {
+	Model *quant.Model
+	W     []*device.NVQ15 // indexed by layer; nil for stateless layers
+	B     []*device.NVQ15
+}
+
+// NewModelStore reserves FRAM for the model and flashes the weights.
+func NewModelStore(d *device.Device, m *quant.Model) (*ModelStore, error) {
+	s := &ModelStore{
+		Model: m,
+		W:     make([]*device.NVQ15, len(m.Layers)),
+		B:     make([]*device.NVQ15, len(m.Layers)),
+	}
+	for li := range m.Layers {
+		l := &m.Layers[li]
+		switch l.Spec.Kind {
+		case "conv":
+			w := l.W
+			if l.Kept != nil {
+				w = compactConvWeights(l)
+			}
+			nv, err := device.NewNVQ15(d, len(w))
+			if err != nil {
+				return nil, fmt.Errorf("exec: layer %d weights: %w", li, err)
+			}
+			copy(nv.Raw(), w)
+			s.W[li] = nv
+		case "dense", "bcm":
+			nv, err := device.NewNVQ15(d, len(l.W))
+			if err != nil {
+				return nil, fmt.Errorf("exec: layer %d weights: %w", li, err)
+			}
+			copy(nv.Raw(), l.W)
+			s.W[li] = nv
+		default:
+			continue
+		}
+		bv, err := device.NewNVQ15(d, len(l.B))
+		if err != nil {
+			return nil, fmt.Errorf("exec: layer %d bias: %w", li, err)
+		}
+		copy(bv.Raw(), l.B)
+		s.B[li] = bv
+	}
+	return s, nil
+}
+
+// compactConvWeights packs a pruned conv layer's weights down to the
+// kept positions: [oc][keptIdx].
+func compactConvWeights(l *quant.QLayer) []fixed.Q15 {
+	s := l.Spec
+	positions := s.InC * s.KH * s.KW
+	out := make([]fixed.Q15, s.OutC*len(l.Kept))
+	for oc := 0; oc < s.OutC; oc++ {
+		for ki, p := range l.Kept {
+			out[oc*len(l.Kept)+ki] = l.W[oc*positions+p]
+		}
+	}
+	return out
+}
+
+// KernelLen returns the MAC length of one conv output element for
+// layer l (kept positions when pruned, the full window otherwise).
+func KernelLen(l *quant.QLayer) int {
+	if l.Kept != nil {
+		return len(l.Kept)
+	}
+	return l.Spec.InC * l.Spec.KH * l.Spec.KW
+}
+
+// WindowOffsets returns, for conv layer l, the input-buffer offset of
+// every MAC operand relative to the window origin (ic·H·W + ky·W +
+// kx), in exactly the order the reference executor accumulates. The
+// offsets are static per layer, so engines compute them once.
+func WindowOffsets(l *quant.QLayer) []int {
+	s := l.Spec
+	if l.Kept != nil {
+		offs := make([]int, len(l.Kept))
+		for i, p := range l.Kept {
+			ic := p / (s.KH * s.KW)
+			rem := p % (s.KH * s.KW)
+			ky := rem / s.KW
+			kx := rem % s.KW
+			offs[i] = ic*s.InH*s.InW + ky*s.InW + kx
+		}
+		return offs
+	}
+	offs := make([]int, 0, s.InC*s.KH*s.KW)
+	for ic := 0; ic < s.InC; ic++ {
+		for ky := 0; ky < s.KH; ky++ {
+			for kx := 0; kx < s.KW; kx++ {
+				offs = append(offs, ic*s.InH*s.InW+ky*s.InW+kx)
+			}
+		}
+	}
+	return offs
+}
+
+// Report is the outcome of one measured inference.
+type Report struct {
+	Engine    string
+	Logits    []fixed.Q15
+	Predicted int
+	Stats     device.Stats
+	// Intermittent is non-nil when the run went through the
+	// power-failure runner.
+	Intermittent *intermittent.Result
+}
+
+// Argmax returns the predicted class of quantized logits.
+func Argmax(logits []fixed.Q15) int {
+	if len(logits) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RunContinuous executes one inference on bench power and collects a
+// report.
+func RunContinuous(d *device.Device, e Engine) (Report, error) {
+	if err := e.Boot(d); err != nil {
+		return Report{}, fmt.Errorf("exec: %s: %w", e.EngineName(), err)
+	}
+	logits := e.Output()
+	return Report{
+		Engine:    e.EngineName(),
+		Logits:    logits,
+		Predicted: Argmax(logits),
+		Stats:     d.Stats(),
+	}, nil
+}
+
+// RunIntermittent executes one inference across power failures.
+func RunIntermittent(d *device.Device, e Engine, r *intermittent.Runner) Report {
+	res := r.Run(d, e)
+	rep := Report{
+		Engine:       e.EngineName(),
+		Stats:        d.Stats(),
+		Intermittent: &res,
+		Predicted:    -1,
+	}
+	if res.Completed {
+		rep.Logits = e.Output()
+		rep.Predicted = Argmax(rep.Logits)
+	}
+	return rep
+}

@@ -1,0 +1,237 @@
+// Package fftfixed implements the Fourier transforms the LEA exposes:
+// an iterative radix-2 decimation-in-time FFT/IFFT over Q15 complex
+// vectors with per-stage scaling, plus a float64 reference transform
+// used by training and by tests.
+//
+// The fixed-point forward FFT divides by 2 at every butterfly stage
+// (total 1/N), which is exactly how the MSP430 LEA's scaling FFT avoids
+// overflow; the paper's Algorithm 1 compensates for this with its
+// SCALE-UP step. The IFFT applies no scaling, so the round trip
+// IFFT(FFT(x)) returns x/N.
+package fftfixed
+
+import (
+	"math"
+	"math/bits"
+
+	"ehdl/internal/fixed"
+)
+
+// Complex is a Q15 complex number, matching the LEA's interleaved
+// re/im vector layout.
+type Complex struct {
+	Re, Im fixed.Q15
+}
+
+// FromFloat converts a complex128 to a Q15 Complex with saturation.
+func FromFloat(c complex128) Complex {
+	return Complex{fixed.FromFloat(real(c)), fixed.FromFloat(imag(c))}
+}
+
+// Float converts back to complex128.
+func (c Complex) Float() complex128 {
+	return complex(c.Re.Float(), c.Im.Float())
+}
+
+// IsPow2 reports whether n is a positive power of two, the only FFT
+// lengths the LEA supports.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// twiddles caches e^{-2πik/n} tables per size; harmless to recompute,
+// cheap to keep.
+var twiddles = map[int][]complex128{}
+
+func twiddleTable(n int) []complex128 {
+	if t, ok := twiddles[n]; ok {
+		return t
+	}
+	t := make([]complex128, n/2)
+	for k := range t {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		t[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	twiddles[n] = t
+	return t
+}
+
+// bitReverse permutes v in place into bit-reversed index order.
+func bitReverse[T any](v []T) {
+	n := len(v)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range v {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+}
+
+// Float64FFT computes the unnormalized DFT of x in place.
+// len(x) must be a power of two.
+func Float64FFT(x []complex128) {
+	transformFloat(x, false)
+}
+
+// Float64IFFT computes the inverse DFT of x in place, including the
+// conventional 1/N normalization so Float64IFFT(Float64FFT(x)) == x.
+func Float64IFFT(x []complex128) {
+	transformFloat(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] /= complex(n, 0)
+	}
+}
+
+func transformFloat(x []complex128, inverse bool) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic("fftfixed: length must be a power of two")
+	}
+	if n == 1 {
+		return
+	}
+	bitReverse(x)
+	tw := twiddleTable(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := tw[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// FFT computes the forward transform of x in place with per-stage
+// scaling: the result is DFT(x)/N. Panics if len(x) is not a power of
+// two (the LEA rejects such lengths in hardware).
+func FFT(x []Complex) {
+	transformFixed(x, false)
+}
+
+// IFFT computes the unnormalized inverse transform in place (a factor
+// of N larger than the true inverse DFT). Because the forward FFT here
+// scales by 1/N, the round trip IFFT(FFT(x)) reconstructs x up to
+// rounding. A product of two forward transforms, as in the BCM kernel
+// IFFT(FFT(w)∘FFT(x)), carries a leftover 1/N that Algorithm 1's
+// SCALE-UP step multiplies back out.
+func IFFT(x []Complex) {
+	transformFixed(x, true)
+}
+
+func transformFixed(x []Complex, inverse bool) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic("fftfixed: length must be a power of two")
+	}
+	if n == 1 {
+		return
+	}
+	bitReverse(x)
+	tw := twiddleTable(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := tw[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				wr := int64(fixed.FromFloat(real(w)))
+				wi := int64(fixed.FromFloat(imag(w)))
+				a := x[start+k]
+				b := x[start+k+half]
+				// The whole butterfly runs in the Q30 domain with a
+				// single rounding per output: narrowing the twiddle
+				// product to Q15 first would saturate, because complex
+				// components of b·w reach √2 even when magnitudes stay
+				// within range.
+				br := int64(b.Re)*wr - int64(b.Im)*wi // Q30
+				bi := int64(b.Re)*wi + int64(b.Im)*wr // Q30
+				ar := int64(a.Re) << fixed.FracBits   // Q30
+				ai := int64(a.Im) << fixed.FracBits   // Q30
+				if !inverse {
+					// Forward: scale each stage by 1/2 to prevent
+					// overflow (the LEA's "scale by two" FFT mode).
+					x[start+k] = Complex{q30ToQ15(ar+br, 1), q30ToQ15(ai+bi, 1)}
+					x[start+k+half] = Complex{q30ToQ15(ar-br, 1), q30ToQ15(ai-bi, 1)}
+				} else {
+					x[start+k] = Complex{q30ToQ15(ar+br, 0), q30ToQ15(ai+bi, 0)}
+					x[start+k+half] = Complex{q30ToQ15(ar-br, 0), q30ToQ15(ai-bi, 0)}
+				}
+			}
+		}
+	}
+}
+
+// q30ToQ15 narrows a Q30-scaled value to Q15 after an extra right
+// shift of extra bits, rounding to nearest and saturating.
+func q30ToQ15(v int64, extra uint) fixed.Q15 {
+	shift := uint(fixed.FracBits) + extra
+	v += 1 << (shift - 1)
+	v >>= shift
+	switch {
+	case v > math.MaxInt16:
+		return fixed.One
+	case v < math.MinInt16:
+		return fixed.MinusOne
+	}
+	return fixed.Q15(v)
+}
+
+// MulComplexVec stores the element-wise complex product a[i]*b[i] into
+// dst — the "element-wise multiplication" at the heart of the BCM
+// computation IFFT(FFT(p) ∘ FFT(x)).
+func MulComplexVec(dst, a, b []Complex) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("fftfixed: MulComplexVec length mismatch")
+	}
+	for i := range a {
+		re := fixed.SatAddQ31(fixed.MulQ31(a[i].Re, b[i].Re), -fixed.MulQ31(a[i].Im, b[i].Im))
+		im := fixed.SatAddQ31(fixed.MulQ31(a[i].Re, b[i].Im), fixed.MulQ31(a[i].Im, b[i].Re))
+		dst[i] = Complex{re.ToQ15(), im.ToQ15()}
+	}
+}
+
+// ShlVec scales every component of v up by 2^n with saturation — the
+// block-domain precision recovery applied between the MPY and IFFT
+// stages of Algorithm 1.
+func ShlVec(v []Complex, n uint) {
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] = Complex{fixed.Shl(v[i].Re, n), fixed.Shl(v[i].Im, n)}
+	}
+}
+
+// ToComplex widens a real Q15 vector into a Complex vector with zero
+// imaginary parts (Algorithm 1's COMPLEX step).
+func ToComplex(dst []Complex, src []fixed.Q15) {
+	if len(dst) != len(src) {
+		panic("fftfixed: ToComplex length mismatch")
+	}
+	for i, q := range src {
+		dst[i] = Complex{Re: q}
+	}
+}
+
+// Real extracts the real parts of src into dst (Algorithm 1's REAL
+// step).
+func Real(dst []fixed.Q15, src []Complex) {
+	if len(dst) != len(src) {
+		panic("fftfixed: Real length mismatch")
+	}
+	for i, c := range src {
+		dst[i] = c.Re
+	}
+}

@@ -1,0 +1,307 @@
+package fftfixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ehdl/internal/fixed"
+)
+
+// naiveDFT computes the textbook O(n^2) DFT for cross-checking.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 12, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestFloatFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		Float64FFT(got)
+		for i := range got {
+			if d := got[i] - want[i]; math.Hypot(real(d), imag(d)) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: got %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFloatFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 32, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, 0)
+		}
+		y := append([]complex128(nil), x...)
+		Float64FFT(y)
+		Float64IFFT(y)
+		for i := range y {
+			if d := y[i] - x[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+				t.Fatalf("n=%d: round trip diverged at %d: %v vs %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFloatFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	Float64FFT(x)
+	for i, v := range x {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFloatFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 16
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(rng.Float64(), rng.Float64())
+		b[i] = complex(rng.Float64(), rng.Float64())
+	}
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = a[i] + b[i]
+	}
+	Float64FFT(a)
+	Float64FFT(b)
+	Float64FFT(sum)
+	for i := range sum {
+		want := a[i] + b[i]
+		if d := sum[i] - want; math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("linearity failed at %d", i)
+		}
+	}
+}
+
+func TestFixedFFTScalesByN(t *testing.T) {
+	// Forward fixed FFT of a constant vector c: DFT is N*c at bin 0,
+	// scaled by 1/N => bin 0 should be c again.
+	n := 16
+	c := 0.5
+	x := make([]Complex, n)
+	for i := range x {
+		x[i] = Complex{fixed.FromFloat(c), 0}
+	}
+	FFT(x)
+	if got := x[0].Re.Float(); math.Abs(got-c) > 0.01 {
+		t.Errorf("bin0 = %v, want %v", got, c)
+	}
+	for i := 1; i < n; i++ {
+		if got := math.Hypot(x[i].Re.Float(), x[i].Im.Float()); got > 0.01 {
+			t.Errorf("bin %d magnitude = %v, want ~0", i, got)
+		}
+	}
+}
+
+func TestFixedRoundTripReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{4, 16, 64} {
+		x := make([]Complex, n)
+		orig := make([]float64, n)
+		for i := range x {
+			orig[i] = rng.Float64() - 0.5
+			x[i] = Complex{fixed.FromFloat(orig[i]), 0}
+		}
+		FFT(x)
+		IFFT(x)
+		// Forward scales by 1/N, unnormalized inverse multiplies N back:
+		// round trip is identity up to accumulated rounding.
+		tol := 0.02
+		for i := range x {
+			if got := x[i].Re.Float(); math.Abs(got-orig[i]) > tol {
+				t.Fatalf("n=%d idx=%d: got %v, want %v", n, i, got, orig[i])
+			}
+		}
+	}
+}
+
+func TestFixedFFTMatchesFloatFFTScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 32
+	xf := make([]complex128, n)
+	xq := make([]Complex, n)
+	for i := range xf {
+		v := rng.Float64() - 0.5
+		xf[i] = complex(v, 0)
+		xq[i] = Complex{fixed.FromFloat(v), 0}
+	}
+	Float64FFT(xf)
+	FFT(xq)
+	for i := range xf {
+		want := xf[i] / complex(float64(n), 0)
+		got := xq[i].Float()
+		if d := got - want; math.Hypot(real(d), imag(d)) > 0.01 {
+			t.Fatalf("bin %d: fixed %v, float-scaled %v", i, got, want)
+		}
+	}
+}
+
+func TestFixedFFTNeverOverflows(t *testing.T) {
+	// Even a full-scale input must not saturate thanks to per-stage
+	// scaling: output magnitude of the scaled FFT is bounded by
+	// max|x| <= 1.
+	n := 64
+	x := make([]Complex, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = Complex{fixed.One, 0}
+		} else {
+			x[i] = Complex{fixed.MinusOne, 0}
+		}
+	}
+	FFT(x)
+	for i, c := range x {
+		if c.Re == fixed.One || c.Re == fixed.MinusOne ||
+			c.Im == fixed.One || c.Im == fixed.MinusOne {
+			// Hitting the rails exactly suggests saturation — the only
+			// legal full-scale bin for this input is n/2 (Nyquist).
+			if i != n/2 {
+				t.Errorf("bin %d saturated: %+v", i, c)
+			}
+		}
+	}
+}
+
+func TestMulComplexVec(t *testing.T) {
+	a := []Complex{FromFloat(complex(0.5, 0.25))}
+	b := []Complex{FromFloat(complex(0.25, -0.5))}
+	dst := make([]Complex, 1)
+	MulComplexVec(dst, a, b)
+	want := complex(0.5, 0.25) * complex(0.25, -0.5)
+	got := dst[0].Float()
+	if math.Hypot(real(got-want), imag(got-want)) > 1e-3 {
+		t.Errorf("MulComplexVec = %v, want %v", got, want)
+	}
+}
+
+func TestMulComplexVecProperty(t *testing.T) {
+	err := quick.Check(func(ar, ai, br, bi int16) bool {
+		// Keep inputs at half scale to stay in range.
+		a := Complex{fixed.Q15(ar / 2), fixed.Q15(ai / 2)}
+		b := Complex{fixed.Q15(br / 2), fixed.Q15(bi / 2)}
+		dst := make([]Complex, 1)
+		MulComplexVec(dst, []Complex{a}, []Complex{b})
+		want := a.Float() * b.Float()
+		got := dst[0].Float()
+		return math.Hypot(real(got-want), imag(got-want)) <= 3e-4
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToComplexReal(t *testing.T) {
+	src := fixed.FromFloats([]float64{0.5, -0.25})
+	c := make([]Complex, 2)
+	ToComplex(c, src)
+	for i := range c {
+		if c[i].Re != src[i] || c[i].Im != 0 {
+			t.Errorf("ToComplex[%d] = %+v", i, c[i])
+		}
+	}
+	back := make([]fixed.Q15, 2)
+	Real(back, c)
+	for i := range back {
+		if back[i] != src[i] {
+			t.Errorf("Real[%d] = %v, want %v", i, back[i], src[i])
+		}
+	}
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"FFT":        func() { FFT(make([]Complex, 3)) },
+		"IFFT":       func() { IFFT(make([]Complex, 6)) },
+		"Float64FFT": func() { Float64FFT(make([]complex128, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on non-power-of-two length", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSizeOnePassthrough(t *testing.T) {
+	x := []Complex{{fixed.FromFloat(0.5), 0}}
+	FFT(x)
+	if got := x[0].Re.Float(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("size-1 FFT changed value: %v", got)
+	}
+	xf := []complex128{complex(0.25, 0)}
+	Float64FFT(xf)
+	if xf[0] != complex(0.25, 0) {
+		t.Errorf("size-1 float FFT changed value: %v", xf[0])
+	}
+}
+
+func TestCircularConvolutionViaFFT(t *testing.T) {
+	// The whole point of BCM: IFFT(FFT(w) * FFT(x)) is circular
+	// convolution. Check against the direct sum in float.
+	w := []float64{0.5, -0.25, 0.125, 0.0625}
+	x := []float64{0.25, 0.5, -0.125, 0.3}
+	n := len(w)
+	want := make([]float64, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			want[r] += w[(r-c+n)%n] * x[c]
+		}
+	}
+	wf := make([]complex128, n)
+	xf := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		wf[i] = complex(w[i], 0)
+		xf[i] = complex(x[i], 0)
+	}
+	Float64FFT(wf)
+	Float64FFT(xf)
+	prod := make([]complex128, n)
+	for i := range prod {
+		prod[i] = wf[i] * xf[i]
+	}
+	Float64IFFT(prod)
+	for i := range want {
+		if math.Abs(real(prod[i])-want[i]) > 1e-9 {
+			t.Errorf("conv[%d] = %v, want %v", i, real(prod[i]), want[i])
+		}
+	}
+}

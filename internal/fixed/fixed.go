@@ -1,0 +1,219 @@
+// Package fixed implements Q1.15 ("Q15") fixed-point arithmetic, the
+// native numeric format of the MSP430 Low-Energy Accelerator and the
+// format RAD quantizes models into.
+//
+// A Q15 value is a signed 16-bit integer interpreted as value/2^15, so
+// the representable range is [-1, 1-2^-15]. All operations saturate
+// rather than wrap: on a tiny MCU a wrapped accumulator silently
+// corrupts an inference, whereas saturation merely clips, which is the
+// behaviour the LEA hardware provides and the paper's overflow-aware
+// computation (§III-B) relies on.
+package fixed
+
+import "math"
+
+// FracBits is the number of fractional bits in a Q15 value.
+const FracBits = 15
+
+// One is the Q15 value closest to +1.0 (1 - 2^-15).
+const One = Q15(math.MaxInt16)
+
+// MinusOne is the Q15 value -1.0 exactly.
+const MinusOne = Q15(math.MinInt16)
+
+// scale is the implicit denominator of a Q15 value.
+const scale = 1 << FracBits
+
+// Q15 is a signed fixed-point number with 1 sign bit and 15 fractional
+// bits. The zero value represents 0.0 and is ready to use.
+type Q15 int16
+
+// Q31 is a signed fixed-point accumulator with 1 sign bit, 1 integer
+// bit and 30 fractional bits: the product of two Q15 values is exactly
+// representable in Q31, which is why the LEA's MAC unit accumulates in
+// 32 bits.
+type Q31 int32
+
+// FromFloat converts a float64 to Q15, rounding to nearest and
+// saturating to the representable range.
+func FromFloat(f float64) Q15 {
+	r := math.RoundToEven(f * scale)
+	switch {
+	case r >= math.MaxInt16:
+		return One
+	case r <= math.MinInt16:
+		return MinusOne
+	}
+	return Q15(r)
+}
+
+// Float converts q back to float64.
+func (q Q15) Float() float64 { return float64(q) / scale }
+
+// Float converts the Q31 accumulator back to float64.
+func (a Q31) Float() float64 { return float64(a) / (1 << 30) }
+
+// SatAdd returns a+b with saturation.
+func SatAdd(a, b Q15) Q15 {
+	s := int32(a) + int32(b)
+	return sat16(s)
+}
+
+// SatSub returns a-b with saturation.
+func SatSub(a, b Q15) Q15 {
+	s := int32(a) - int32(b)
+	return sat16(s)
+}
+
+// Mul returns the Q15 product a*b, rounded to nearest with the
+// conventional 0.5 ulp rounding bias addition used by DSP hardware.
+func Mul(a, b Q15) Q15 {
+	p := int32(a) * int32(b) // Q30
+	p += 1 << (FracBits - 1) // round half up
+	return sat16(p >> FracBits)
+}
+
+// MulQ31 returns the exact Q30-scaled product of a and b widened into a
+// Q31 accumulator (no rounding, no saturation: the product of two int16
+// always fits in int32 except for MinusOne*MinusOne, which saturates).
+func MulQ31(a, b Q15) Q31 {
+	p := int64(a) * int64(b)
+	if p > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return Q31(p)
+}
+
+// MAC performs acc + a*b in the Q31 accumulator domain with saturation,
+// mirroring the LEA's multiply-accumulate primitive.
+func MAC(acc Q31, a, b Q15) Q31 {
+	s := int64(acc) + int64(a)*int64(b)
+	return sat32(s)
+}
+
+// SatAddQ31 returns a+b in the accumulator domain with saturation.
+func SatAddQ31(a, b Q31) Q31 {
+	return sat32(int64(a) + int64(b))
+}
+
+// ToQ15 narrows a Q31 accumulator (Q2.30) back to Q15 with rounding and
+// saturation. This is the "store accumulator" step of a MAC loop.
+func (a Q31) ToQ15() Q15 {
+	s := int64(a) + 1<<(FracBits-1)
+	return sat16n(s >> FracBits)
+}
+
+// NarrowQ31 converts a Q31 accumulator to Q15 after dividing the real
+// value by 2^rshift (rshift may be negative: multiply). Rounds to
+// nearest, saturates. This is the "store accumulator with output
+// scaling" step every quantized layer ends with.
+func NarrowQ31(a Q31, rshift int) Q15 {
+	shift := FracBits + rshift // Q30 -> Q15 base shift plus scaling
+	v := int64(a)
+	switch {
+	case shift > 0:
+		if shift > 62 {
+			return 0
+		}
+		v += 1 << (shift - 1)
+		v >>= uint(shift)
+	case shift < 0:
+		if -shift > 30 {
+			// Saturate any nonzero value.
+			if v > 0 {
+				return One
+			}
+			if v < 0 {
+				return MinusOne
+			}
+			return 0
+		}
+		v <<= uint(-shift)
+	}
+	return sat16n(v)
+}
+
+// ShiftQ15 returns q scaled by 2^-n with a signed shift count
+// (negative n scales up), rounding and saturating.
+func ShiftQ15(q Q15, n int) Q15 {
+	if n >= 0 {
+		return Shr(q, uint(n))
+	}
+	return Shl(q, uint(-n))
+}
+
+// Shr returns q >> n with rounding toward nearest. Shifting is how the
+// fixed-point FFT applies its per-stage scale-down.
+func Shr(q Q15, n uint) Q15 {
+	if n == 0 {
+		return q
+	}
+	if n > 15 {
+		return 0
+	}
+	v := int32(q) + 1<<(n-1)
+	return sat16(v >> n)
+}
+
+// Shl returns q << n with saturation.
+func Shl(q Q15, n uint) Q15 {
+	if n > 15 {
+		if q > 0 {
+			return One
+		}
+		if q < 0 {
+			return MinusOne
+		}
+		return 0
+	}
+	return sat16(int32(q) << n)
+}
+
+// Abs returns |q| with saturation (|MinusOne| clips to One).
+func Abs(q Q15) Q15 {
+	if q >= 0 {
+		return q
+	}
+	if q == MinusOne {
+		return One
+	}
+	return -q
+}
+
+// Neg returns -q with saturation (-MinusOne clips to One).
+func Neg(q Q15) Q15 {
+	if q == MinusOne {
+		return One
+	}
+	return -q
+}
+
+func sat16(v int32) Q15 {
+	switch {
+	case v > math.MaxInt16:
+		return One
+	case v < math.MinInt16:
+		return MinusOne
+	}
+	return Q15(v)
+}
+
+func sat16n(v int64) Q15 {
+	switch {
+	case v > math.MaxInt16:
+		return One
+	case v < math.MinInt16:
+		return MinusOne
+	}
+	return Q15(v)
+}
+
+func sat32(v int64) Q31 {
+	switch {
+	case v > math.MaxInt32:
+		return math.MaxInt32
+	case v < math.MinInt32:
+		return math.MinInt32
+	}
+	return Q31(v)
+}

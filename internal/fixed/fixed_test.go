@@ -1,0 +1,334 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatExactValues(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want Q15
+	}{
+		{0, 0},
+		{0.5, 1 << 14},
+		{-0.5, -(1 << 14)},
+		{-1, MinusOne},
+		{1, One},       // +1 saturates to 1-2^-15
+		{2, One},       // out of range high
+		{-2, MinusOne}, // out of range low
+		{1.0 / 32768, 1},
+		{-1.0 / 32768, -1},
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.f); got != c.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for i := math.MinInt16; i <= math.MaxInt16; i += 37 {
+		q := Q15(i)
+		if got := FromFloat(q.Float()); got != q {
+			t.Fatalf("round trip failed for %d: got %d", q, got)
+		}
+	}
+}
+
+func TestSatAddSaturates(t *testing.T) {
+	if got := SatAdd(One, One); got != One {
+		t.Errorf("One+One = %d, want saturation to One", got)
+	}
+	if got := SatAdd(MinusOne, MinusOne); got != MinusOne {
+		t.Errorf("MinusOne+MinusOne = %d, want saturation to MinusOne", got)
+	}
+	if got := SatAdd(Q15(100), Q15(-100)); got != 0 {
+		t.Errorf("100 + -100 = %d, want 0", got)
+	}
+}
+
+func TestSatSubSaturates(t *testing.T) {
+	if got := SatSub(One, MinusOne); got != One {
+		t.Errorf("One-MinusOne = %d, want One", got)
+	}
+	if got := SatSub(MinusOne, One); got != MinusOne {
+		t.Errorf("MinusOne-One = %d, want MinusOne", got)
+	}
+}
+
+func TestMulBasic(t *testing.T) {
+	half := FromFloat(0.5)
+	quarter := FromFloat(0.25)
+	if got := Mul(half, half); got != quarter {
+		t.Errorf("0.5*0.5 = %v, want %v", got.Float(), quarter.Float())
+	}
+	if got := Mul(MinusOne, MinusOne); got != One {
+		// (-1)*(-1) = +1 which saturates to One.
+		t.Errorf("(-1)*(-1) = %d, want One", got)
+	}
+	if got := Mul(0, One); got != 0 {
+		t.Errorf("0*One = %d, want 0", got)
+	}
+}
+
+func TestMulMatchesFloatWithinULP(t *testing.T) {
+	err := quick.Check(func(a, b int16) bool {
+		qa, qb := Q15(a), Q15(b)
+		got := Mul(qa, qb).Float()
+		want := qa.Float() * qb.Float()
+		return math.Abs(got-want) <= 1.0/scale
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatAddMatchesClampedFloat(t *testing.T) {
+	err := quick.Check(func(a, b int16) bool {
+		qa, qb := Q15(a), Q15(b)
+		got := SatAdd(qa, qb).Float()
+		want := qa.Float() + qb.Float()
+		if want > One.Float() {
+			want = One.Float()
+		}
+		if want < -1 {
+			want = -1
+		}
+		return math.Abs(got-want) <= 1.0/scale
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatAddCommutative(t *testing.T) {
+	err := quick.Check(func(a, b int16) bool {
+		return SatAdd(Q15(a), Q15(b)) == SatAdd(Q15(b), Q15(a))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	err := quick.Check(func(a, b int16) bool {
+		return Mul(Q15(a), Q15(b)) == Mul(Q15(b), Q15(a))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACAccumulates(t *testing.T) {
+	var acc Q31
+	half := FromFloat(0.5)
+	for i := 0; i < 4; i++ {
+		acc = MAC(acc, half, half)
+	}
+	if got := acc.Float(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("4 * 0.25 accumulated = %v, want 1.0", got)
+	}
+}
+
+func TestMACSaturatesAtInt32(t *testing.T) {
+	acc := Q31(math.MaxInt32)
+	if got := MAC(acc, One, One); got != math.MaxInt32 {
+		t.Errorf("saturated MAC = %d, want MaxInt32", got)
+	}
+	acc = Q31(math.MinInt32)
+	if got := MAC(acc, MinusOne, One); got != math.MinInt32 {
+		t.Errorf("saturated MAC = %d, want MinInt32", got)
+	}
+}
+
+func TestToQ15Rounds(t *testing.T) {
+	// 0.5 in the Q30 accumulator domain.
+	acc := Q31(1 << 29)
+	if got := acc.ToQ15(); got != FromFloat(0.5) {
+		t.Errorf("ToQ15(0.5) = %v", got.Float())
+	}
+	// A huge accumulator saturates.
+	if got := Q31(math.MaxInt32).ToQ15(); got != One {
+		t.Errorf("ToQ15(max) = %d, want One", got)
+	}
+	if got := Q31(math.MinInt32).ToQ15(); got != MinusOne {
+		t.Errorf("ToQ15(min) = %d, want MinusOne", got)
+	}
+}
+
+func TestShrShl(t *testing.T) {
+	q := FromFloat(0.5)
+	if got := Shr(q, 1); got != FromFloat(0.25) {
+		t.Errorf("Shr(0.5,1) = %v", got.Float())
+	}
+	if got := Shl(FromFloat(0.25), 1); got != FromFloat(0.5) {
+		t.Errorf("Shl(0.25,1) = %v", got.Float())
+	}
+	if got := Shl(FromFloat(0.75), 2); got != One {
+		t.Errorf("Shl overflow = %d, want One", got)
+	}
+	if got := Shr(q, 20); got != 0 {
+		t.Errorf("Shr(q,20) = %d, want 0", got)
+	}
+	if got := Shl(q, 20); got != One {
+		t.Errorf("Shl(q,20) = %d, want One", got)
+	}
+	if got := Shl(Neg(q), 20); got != MinusOne {
+		t.Errorf("Shl(-q,20) = %d, want MinusOne", got)
+	}
+	if got := Shl(0, 20); got != 0 {
+		t.Errorf("Shl(0,20) = %d, want 0", got)
+	}
+}
+
+func TestShrRoundTripUpToPrecision(t *testing.T) {
+	err := quick.Check(func(a int16) bool {
+		q := Q15(a)
+		// Shifting down then up loses at most 2^n-1 plus rounding.
+		down := Shr(q, 3)
+		up := Shl(down, 3)
+		return math.Abs(up.Float()-q.Float()) <= 8.0/scale
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsNeg(t *testing.T) {
+	if got := Abs(MinusOne); got != One {
+		t.Errorf("Abs(MinusOne) = %d, want One", got)
+	}
+	if got := Abs(Q15(-5)); got != 5 {
+		t.Errorf("Abs(-5) = %d", got)
+	}
+	if got := Neg(MinusOne); got != One {
+		t.Errorf("Neg(MinusOne) = %d, want One", got)
+	}
+	if got := Neg(Q15(7)); got != -7 {
+		t.Errorf("Neg(7) = %d", got)
+	}
+}
+
+func TestDotMatchesFloat(t *testing.T) {
+	a := FromFloats([]float64{0.5, -0.25, 0.125, 0.75})
+	b := FromFloats([]float64{0.5, 0.5, -0.5, 0.25})
+	want := 0.5*0.5 + -0.25*0.5 + 0.125*-0.5 + 0.75*0.25
+	got := Dot(a, b).Float()
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("Dot = %v, want %v", got, want)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Dot(make([]Q15, 3), make([]Q15, 4))
+}
+
+func TestVectorOps(t *testing.T) {
+	a := FromFloats([]float64{0.5, -0.5, 0.25})
+	b := FromFloats([]float64{0.25, 0.25, 0.25})
+	dst := make([]Q15, 3)
+
+	AddVec(dst, a, b)
+	wantAdd := []float64{0.75, -0.25, 0.5}
+	for i := range dst {
+		if math.Abs(dst[i].Float()-wantAdd[i]) > 1e-3 {
+			t.Errorf("AddVec[%d] = %v, want %v", i, dst[i].Float(), wantAdd[i])
+		}
+	}
+
+	MulVec(dst, a, b)
+	wantMul := []float64{0.125, -0.125, 0.0625}
+	for i := range dst {
+		if math.Abs(dst[i].Float()-wantMul[i]) > 1e-3 {
+			t.Errorf("MulVec[%d] = %v, want %v", i, dst[i].Float(), wantMul[i])
+		}
+	}
+
+	ScaleVec(dst, a, FromFloat(0.5))
+	wantScale := []float64{0.25, -0.25, 0.125}
+	for i := range dst {
+		if math.Abs(dst[i].Float()-wantScale[i]) > 1e-3 {
+			t.Errorf("ScaleVec[%d] = %v, want %v", i, dst[i].Float(), wantScale[i])
+		}
+	}
+}
+
+func TestVecOpsAliasSafe(t *testing.T) {
+	a := FromFloats([]float64{0.5, -0.5, 0.25})
+	b := FromFloats([]float64{0.25, 0.25, 0.25})
+	AddVec(a, a, b) // dst aliases a
+	want := []float64{0.75, -0.25, 0.5}
+	for i := range a {
+		if math.Abs(a[i].Float()-want[i]) > 1e-3 {
+			t.Errorf("aliased AddVec[%d] = %v, want %v", i, a[i].Float(), want[i])
+		}
+	}
+}
+
+func TestShrShlVec(t *testing.T) {
+	a := FromFloats([]float64{0.5, -0.5})
+	dst := make([]Q15, 2)
+	ShrVec(dst, a, 1)
+	if math.Abs(dst[0].Float()-0.25) > 1e-3 || math.Abs(dst[1].Float()+0.25) > 1e-3 {
+		t.Errorf("ShrVec = %v", Floats(dst))
+	}
+	ShlVec(dst, dst, 1)
+	if math.Abs(dst[0].Float()-0.5) > 1e-3 || math.Abs(dst[1].Float()+0.5) > 1e-3 {
+		t.Errorf("ShlVec = %v", Floats(dst))
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := []Q15{5, -7, 3}
+	if got := MaxAbs(a); got != 7 {
+		t.Errorf("MaxAbs = %d, want 7", got)
+	}
+	if got := MaxAbs([]Q15{MinusOne}); got != 32768 {
+		t.Errorf("MaxAbs(MinusOne) = %d, want 32768", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Errorf("MaxAbs(nil) = %d, want 0", got)
+	}
+}
+
+func TestWouldOverflowSum(t *testing.T) {
+	small := FromFloats([]float64{0.1, 0.2, 0.3})
+	if WouldOverflowSum(small) {
+		t.Error("sum 0.6 flagged as overflow")
+	}
+	big := FromFloats([]float64{0.9, 0.9})
+	if !WouldOverflowSum(big) {
+		t.Error("sum 1.8 not flagged as overflow")
+	}
+	neg := FromFloats([]float64{-0.9, -0.9})
+	if !WouldOverflowSum(neg) {
+		t.Error("absolute sum must flag negative-heavy vectors too")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]uint{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFromFloatsFloats(t *testing.T) {
+	fs := []float64{0.5, -0.25, 0}
+	qs := FromFloats(fs)
+	back := Floats(qs)
+	for i := range fs {
+		if math.Abs(back[i]-fs[i]) > 1.0/scale {
+			t.Errorf("round trip [%d]: %v vs %v", i, back[i], fs[i])
+		}
+	}
+}

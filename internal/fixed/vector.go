@@ -1,0 +1,136 @@
+package fixed
+
+// This file provides the slice-level helpers shared by the LEA model
+// and the software kernels: bulk conversion, dot products, and the
+// overflow bookkeeping that ACE's overflow-aware computation needs.
+
+// FromFloats converts a float64 slice to a freshly allocated Q15 slice.
+func FromFloats(fs []float64) []Q15 {
+	qs := make([]Q15, len(fs))
+	for i, f := range fs {
+		qs[i] = FromFloat(f)
+	}
+	return qs
+}
+
+// Floats converts a Q15 slice to a freshly allocated float64 slice.
+func Floats(qs []Q15) []float64 {
+	fs := make([]float64, len(qs))
+	for i, q := range qs {
+		fs[i] = q.Float()
+	}
+	return fs
+}
+
+// Dot computes the saturating Q31 dot product of a and b. It panics if
+// the lengths differ, because a silent short dot product is always a
+// caller bug.
+func Dot(a, b []Q15) Q31 {
+	if len(a) != len(b) {
+		panic("fixed: Dot length mismatch")
+	}
+	var acc Q31
+	for i := range a {
+		acc = MAC(acc, a[i], b[i])
+	}
+	return acc
+}
+
+// AddVec stores a[i]+b[i] into dst with saturation. The three slices
+// must have equal length; dst may alias a or b.
+func AddVec(dst, a, b []Q15) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("fixed: AddVec length mismatch")
+	}
+	for i := range a {
+		dst[i] = SatAdd(a[i], b[i])
+	}
+}
+
+// MulVec stores a[i]*b[i] into dst with rounding and saturation.
+func MulVec(dst, a, b []Q15) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("fixed: MulVec length mismatch")
+	}
+	for i := range a {
+		dst[i] = Mul(a[i], b[i])
+	}
+}
+
+// ScaleVec stores a[i]*c into dst with rounding and saturation.
+func ScaleVec(dst, a []Q15, c Q15) {
+	if len(dst) != len(a) {
+		panic("fixed: ScaleVec length mismatch")
+	}
+	for i := range a {
+		dst[i] = Mul(a[i], c)
+	}
+}
+
+// ShrVec stores a[i]>>n into dst with rounding. This is the SCALE-DOWN
+// procedure of Algorithm 1 when the scale factor is a power of two.
+func ShrVec(dst, a []Q15, n uint) {
+	if len(dst) != len(a) {
+		panic("fixed: ShrVec length mismatch")
+	}
+	for i := range a {
+		dst[i] = Shr(a[i], n)
+	}
+}
+
+// ShlVec stores a[i]<<n into dst with saturation. This is the SCALE-UP
+// procedure of Algorithm 1 when the scale factor is a power of two.
+func ShlVec(dst, a []Q15, n uint) {
+	if len(dst) != len(a) {
+		panic("fixed: ShlVec length mismatch")
+	}
+	for i := range a {
+		dst[i] = Shl(a[i], n)
+	}
+}
+
+// MaxAbs returns the largest |a[i]| as a non-negative int32 in Q15
+// units (so MinusOne reports 32768). It is the measurement ACE's
+// calibration uses to pick scale factors.
+func MaxAbs(a []Q15) int32 {
+	var m int32
+	for _, q := range a {
+		v := int32(q)
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// WouldOverflowSum reports whether summing the absolute values of a
+// could exceed the Q15 range — the exact condition §III-B gives for FFT
+// input scaling ("the FFT will produce wrong results if the addition of
+// the input array elements exceeds the capacity of the quantized bit").
+func WouldOverflowSum(a []Q15) bool {
+	var sum int64
+	for _, q := range a {
+		v := int64(q)
+		if v < 0 {
+			v = -v
+		}
+		sum += v
+	}
+	return sum > int64(One)
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1. It is used to size FFT
+// stages and power-of-two scale factors.
+func Log2Ceil(n int) uint {
+	if n <= 1 {
+		return 0
+	}
+	k := uint(0)
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,191 @@
+// Package harvest models the energy-harvesting front end of the
+// paper's testbed: an ambient source (emulated there by a SIGLENT
+// SDG1032X function generator) charging a 100 µF capacitor that powers
+// the MCU between the turn-on and brown-out voltage thresholds.
+//
+// The capacitor stores E = ½CV². The device boots when V reaches VOn
+// and browns out when V falls below VOff, so the usable energy per
+// charge cycle is ½C(VOn²−VOff²) — about 0.38 mJ for the paper's
+// 100 µF, 3.3 V / 1.8 V configuration. Any inference needing more than
+// that must either checkpoint or never complete: Fig. 7(b)'s "X"
+// columns fall directly out of this arithmetic.
+package harvest
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile supplies the harvested power (in watts) as a function of
+// absolute time. Implementations must be deterministic.
+type Profile interface {
+	// PowerAt returns the instantaneous harvested power at time t
+	// seconds.
+	PowerAt(t float64) float64
+}
+
+// ConstantProfile harvests a fixed power, the simplest bench setting.
+type ConstantProfile struct {
+	Watts float64
+}
+
+// PowerAt returns the constant power.
+func (p ConstantProfile) PowerAt(float64) float64 { return p.Watts }
+
+// SquareProfile alternates between PeakWatts and zero with the given
+// period and duty cycle — the function-generator waveform the paper's
+// experiments use.
+type SquareProfile struct {
+	PeakWatts float64
+	Period    float64 // seconds
+	Duty      float64 // fraction of the period with power, in (0, 1]
+}
+
+// PowerAt returns PeakWatts during the on-phase of each period.
+func (p SquareProfile) PowerAt(t float64) float64 {
+	if p.Period <= 0 {
+		return p.PeakWatts
+	}
+	phase := math.Mod(t, p.Period) / p.Period
+	if phase < p.Duty {
+		return p.PeakWatts
+	}
+	return 0
+}
+
+// SineProfile is a rectified sinusoid, approximating RF or vibration
+// harvesting.
+type SineProfile struct {
+	PeakWatts float64
+	Period    float64
+}
+
+// PowerAt returns the rectified sine power at t.
+func (p SineProfile) PowerAt(t float64) float64 {
+	if p.Period <= 0 {
+		return p.PeakWatts
+	}
+	return p.PeakWatts * math.Abs(math.Sin(2*math.Pi*t/p.Period))
+}
+
+// Config describes the storage front end.
+type Config struct {
+	CapacitanceF float64 // e.g. 100e-6 for the paper's 100 µF
+	VOn          float64 // boot threshold, e.g. 3.3
+	VOff         float64 // brown-out threshold, e.g. 1.8
+	VMax         float64 // clamp (harvester regulator), e.g. 3.6
+}
+
+// PaperConfig returns the paper's experimental configuration: 100 µF,
+// 3.3 V turn-on, 1.8 V brown-out, 3.6 V clamp.
+func PaperConfig() Config {
+	return Config{CapacitanceF: 100e-6, VOn: 3.3, VOff: 1.8, VMax: 3.6}
+}
+
+// Capacitor is the energy store. It implements device.Supply.
+// Starting full (at VOn) is the conventional t=0 state: the device
+// boots the moment the experiment begins.
+type Capacitor struct {
+	cfg     Config
+	profile Profile
+
+	energyJ float64 // current stored energy
+	nowSec  float64 // absolute simulation time (active + off)
+
+	harvestedJ float64 // lifetime harvested energy (diagnostics)
+}
+
+// NewCapacitor returns a capacitor charged to VOn at t=0 under the
+// given profile.
+func NewCapacitor(cfg Config, profile Profile) (*Capacitor, error) {
+	if cfg.CapacitanceF <= 0 {
+		return nil, fmt.Errorf("harvest: capacitance must be positive, got %g", cfg.CapacitanceF)
+	}
+	if !(cfg.VMax >= cfg.VOn && cfg.VOn > cfg.VOff && cfg.VOff > 0) {
+		return nil, fmt.Errorf("harvest: need VMax >= VOn > VOff > 0, got %+v", cfg)
+	}
+	return &Capacitor{
+		cfg:     cfg,
+		profile: profile,
+		energyJ: 0.5 * cfg.CapacitanceF * cfg.VOn * cfg.VOn,
+	}, nil
+}
+
+func (c *Capacitor) energyAt(v float64) float64 {
+	return 0.5 * c.cfg.CapacitanceF * v * v
+}
+
+// Voltage returns the current capacitor voltage.
+func (c *Capacitor) Voltage() float64 {
+	return math.Sqrt(2 * c.energyJ / c.cfg.CapacitanceF)
+}
+
+// Now returns the absolute simulation time in seconds.
+func (c *Capacitor) Now() float64 { return c.nowSec }
+
+// HarvestedJ returns the lifetime harvested energy in joules.
+func (c *Capacitor) HarvestedJ() float64 { return c.harvestedJ }
+
+// Draw implements device.Supply: consume nJ nanojoules over dt seconds
+// while harvesting in parallel. Returns false when the voltage falls
+// below VOff, leaving the store at the brown-out level (the charge
+// below VOff is unusable but still present).
+func (c *Capacitor) Draw(nJ float64, dt float64) bool {
+	c.integrateHarvest(dt)
+	c.nowSec += dt
+	need := nJ * 1e-9
+	floor := c.energyAt(c.cfg.VOff)
+	if c.energyJ-need < floor {
+		// Operation could not complete: clamp at the floor; the
+		// device browns out.
+		c.energyJ = floor
+		return false
+	}
+	c.energyJ -= need
+	return true
+}
+
+// Recharge implements device.Supply: advance off-time until the
+// capacitor reaches VOn again. Returns false if the profile cannot
+// deliver (zero power for an entire period, forever): detected by a
+// bounded search horizon.
+func (c *Capacitor) Recharge() (float64, bool) {
+	target := c.energyAt(c.cfg.VOn)
+	const step = 1e-4 // 100 µs integration step while off
+	const horizon = 3600.0
+	var off float64
+	for c.energyJ < target {
+		p := c.profile.PowerAt(c.nowSec)
+		c.energyJ += p * step
+		if vmax := c.energyAt(c.cfg.VMax); c.energyJ > vmax {
+			c.energyJ = vmax
+		}
+		c.harvestedJ += p * step
+		c.nowSec += step
+		off += step
+		if off > horizon {
+			return off, false
+		}
+	}
+	return off, true
+}
+
+func (c *Capacitor) integrateHarvest(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	// During short active draws the profile is effectively constant;
+	// integrate in a single step but clamp at VMax.
+	p := c.profile.PowerAt(c.nowSec)
+	c.energyJ += p * dt
+	if vmax := c.energyAt(c.cfg.VMax); c.energyJ > vmax {
+		c.energyJ = vmax
+	}
+	c.harvestedJ += p * dt
+}
+
+// UsableEnergyJ returns the energy budget of one full charge cycle,
+// ½C(VOn²−VOff²).
+func (c *Capacitor) UsableEnergyJ() float64 {
+	return c.energyAt(c.cfg.VOn) - c.energyAt(c.cfg.VOff)
+}

@@ -1,0 +1,139 @@
+// Package intermittent drives a program across power failures: it
+// boots the program, catches the device.PowerFailure panic when the
+// capacitor browns out, recharges (wiping SRAM, keeping FRAM), and
+// boots again — the life of a batteryless sensor node.
+//
+// Programs must be written intermittent-style: Boot is the reset
+// vector, called afresh after every outage, and any progress that
+// should survive must already be in FRAM. A program without persistent
+// progress (BASE, plain ACE) simply restarts from scratch each boot;
+// if one inference needs more energy than a full capacitor holds, it
+// can never complete — the runner detects the stagnation and reports
+// a DNF, reproducing the "X" entries of Fig. 7(b).
+package intermittent
+
+import (
+	"errors"
+	"fmt"
+
+	"ehdl/internal/device"
+)
+
+// Program is an intermittent workload.
+type Program interface {
+	// Boot runs the program from power-on to completion or panic.
+	// It is invoked again after every power failure.
+	Boot(d *device.Device) error
+}
+
+// ProgressReporter lets the runner observe forward progress (any
+// monotonically non-decreasing counter, e.g. FLEX's commit sequence).
+// Programs that implement it get fast stagnation detection.
+type ProgressReporter interface {
+	Progress() uint64
+}
+
+// ErrStagnant is wrapped in Result.Err when the program made no
+// persistent progress for StagnationLimit consecutive boots.
+var ErrStagnant = errors.New("intermittent: no forward progress across boots")
+
+// ErrExhausted is wrapped in Result.Err when the supply could not
+// recharge (harvesting source dead).
+var ErrExhausted = errors.New("intermittent: supply cannot recharge")
+
+// ErrBootLimit is wrapped in Result.Err when MaxBoots was reached.
+var ErrBootLimit = errors.New("intermittent: boot limit reached")
+
+// Result describes one intermittent execution.
+type Result struct {
+	// Completed is true when Boot returned without a power failure.
+	Completed bool
+	// Boots is the number of power-failure restarts (0 = finished on
+	// first charge).
+	Boots uint64
+	// Err is nil on completion, otherwise one of the sentinel errors
+	// above (or the program's own error).
+	Err error
+}
+
+// Runner executes Programs across power cycles.
+type Runner struct {
+	// MaxBoots bounds the total number of restarts (safety net).
+	// Zero means the default of 10000.
+	MaxBoots uint64
+	// StagnationLimit is the number of consecutive boots without
+	// progress after which a ProgressReporter program is declared
+	// stuck. Zero means the default of 8.
+	StagnationLimit int
+}
+
+// Run drives p on d until completion, stagnation, exhaustion, or the
+// boot limit. Non-PowerFailure panics propagate: they are bugs.
+func (r *Runner) Run(d *device.Device, p Program) Result {
+	maxBoots := r.MaxBoots
+	if maxBoots == 0 {
+		maxBoots = 10000
+	}
+	stagLimit := r.StagnationLimit
+	if stagLimit == 0 {
+		stagLimit = 8
+	}
+
+	var res Result
+	var lastProgress uint64
+	stagnant := 0
+	reporter, hasProgress := p.(ProgressReporter)
+
+	for {
+		err, failed := bootOnce(d, p)
+		if !failed {
+			res.Completed = err == nil
+			res.Err = err
+			return res
+		}
+		// Power failure: check progress before recharging.
+		if hasProgress {
+			cur := reporter.Progress()
+			if cur < lastProgress {
+				panic(fmt.Sprintf("intermittent: progress moved backwards: %d -> %d", lastProgress, cur))
+			}
+			if cur == lastProgress {
+				stagnant++
+				if stagnant >= stagLimit {
+					res.Err = fmt.Errorf("%w (stuck at %d for %d boots)", ErrStagnant, cur, stagnant)
+					res.Boots = d.Stats().Boots
+					return res
+				}
+			} else {
+				stagnant = 0
+				lastProgress = cur
+			}
+		}
+		if d.Stats().Boots >= maxBoots {
+			res.Err = fmt.Errorf("%w (%d)", ErrBootLimit, maxBoots)
+			res.Boots = d.Stats().Boots
+			return res
+		}
+		if !d.Reboot() {
+			res.Err = ErrExhausted
+			res.Boots = d.Stats().Boots
+			return res
+		}
+		res.Boots = d.Stats().Boots
+	}
+}
+
+// bootOnce runs one power cycle. failed=true means a PowerFailure
+// interrupted Boot; any other panic is re-raised.
+func bootOnce(d *device.Device, p Program) (err error, failed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(device.PowerFailure); ok {
+				failed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return p.Boot(d), false
+}

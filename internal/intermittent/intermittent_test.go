@@ -1,0 +1,224 @@
+package intermittent
+
+import (
+	"errors"
+	"testing"
+
+	"ehdl/internal/device"
+	"ehdl/internal/harvest"
+)
+
+// chunkProgram simulates a checkpointing workload: it must execute
+// totalChunks chunks, each costing chunkOps CPU ops, and persists its
+// position in an NVWord after each chunk.
+type chunkProgram struct {
+	pos         device.NVWord
+	totalChunks uint64
+	chunkOps    int
+}
+
+func (p *chunkProgram) Boot(d *device.Device) error {
+	for {
+		i := p.pos.Read(d, device.CatRestore)
+		if i >= p.totalChunks {
+			return nil
+		}
+		d.CPUOps(p.chunkOps)
+		p.pos.Write(d, device.CatCheckpoint, i+1)
+	}
+}
+
+func (p *chunkProgram) Progress() uint64 { return p.pos.Peek() }
+
+// volatileProgram is BASE-like: all progress is in a local variable,
+// lost on every boot.
+type volatileProgram struct {
+	totalOps int
+}
+
+func (p *volatileProgram) Boot(d *device.Device) error {
+	for i := 0; i < p.totalOps; i += 100 {
+		d.CPUOps(100)
+	}
+	return nil
+}
+
+func (p *volatileProgram) Progress() uint64 { return 0 }
+
+func paperCap(t *testing.T, watts float64) *harvest.Capacitor {
+	t.Helper()
+	c, err := harvest.NewCapacitor(harvest.PaperConfig(), harvest.ConstantProfile{Watts: watts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompletesWithoutFailureOnContinuous(t *testing.T) {
+	d := device.New(device.DefaultCosts(), device.Continuous{})
+	p := &chunkProgram{totalChunks: 100, chunkOps: 1000}
+	res := (&Runner{}).Run(d, p)
+	if !res.Completed || res.Err != nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Boots != 0 {
+		t.Errorf("boots = %d, want 0", res.Boots)
+	}
+}
+
+func TestCheckpointedProgramSurvivesOutages(t *testing.T) {
+	// Budget per charge ≈ 0.38 mJ; each chunk costs 100k ops ≈ 36 µJ,
+	// so ~10 chunks per charge; 100 chunks needs ~9 reboots.
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	p := &chunkProgram{totalChunks: 100, chunkOps: 100000}
+	res := (&Runner{}).Run(d, p)
+	if !res.Completed {
+		t.Fatalf("did not complete: %+v", res)
+	}
+	if res.Boots == 0 {
+		t.Error("expected at least one power failure")
+	}
+	if p.pos.Peek() != 100 {
+		t.Errorf("final position = %d, want 100", p.pos.Peek())
+	}
+}
+
+func TestVolatileProgramStagnates(t *testing.T) {
+	// One inference needs ~3.6 mJ; the capacitor holds ~0.38 mJ: DNF.
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	p := &volatileProgram{totalOps: 10_000_000}
+	res := (&Runner{}).Run(d, p)
+	if res.Completed {
+		t.Fatal("volatile program cannot complete on this budget")
+	}
+	if !errors.Is(res.Err, ErrStagnant) {
+		t.Fatalf("err = %v, want ErrStagnant", res.Err)
+	}
+	// Stagnation should be detected quickly (default limit 8).
+	if res.Boots > 10 {
+		t.Errorf("took %d boots to detect stagnation", res.Boots)
+	}
+}
+
+func TestVolatileProgramFitsInOneCharge(t *testing.T) {
+	// A small enough workload completes within the first charge.
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	p := &volatileProgram{totalOps: 10_000} // ~3.6 µJ
+	res := (&Runner{}).Run(d, p)
+	if !res.Completed {
+		t.Fatalf("small volatile program should finish: %+v", res)
+	}
+}
+
+func TestExhaustedSupply(t *testing.T) {
+	cap := paperCap(t, 0) // dead source
+	d := device.New(device.DefaultCosts(), cap)
+	p := &chunkProgram{totalChunks: 1000, chunkOps: 100000}
+	res := (&Runner{}).Run(d, p)
+	if res.Completed {
+		t.Fatal("cannot complete with dead source")
+	}
+	if !errors.Is(res.Err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", res.Err)
+	}
+}
+
+func TestBootLimit(t *testing.T) {
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	// No ProgressReporter stagnation (chunk program does progress),
+	// but boot limit of 3 cuts a long run short.
+	p := &chunkProgram{totalChunks: 100000, chunkOps: 100000}
+	res := (&Runner{MaxBoots: 3}).Run(d, p)
+	if res.Completed {
+		t.Fatal("should have hit boot limit")
+	}
+	if !errors.Is(res.Err, ErrBootLimit) {
+		t.Fatalf("err = %v, want ErrBootLimit", res.Err)
+	}
+}
+
+// regressingProgram violates the monotonic progress invariant.
+type regressingProgram struct {
+	val  uint64
+	down bool
+}
+
+func (p *regressingProgram) Boot(d *device.Device) error {
+	if p.down {
+		p.val = 0
+	} else {
+		p.val = 5
+		p.down = true
+	}
+	for {
+		d.CPUOps(1000) // burn until failure
+	}
+}
+
+func (p *regressingProgram) Progress() uint64 { return p.val }
+
+func TestProgressRegressionPanics(t *testing.T) {
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on progress regression")
+		}
+	}()
+	(&Runner{}).Run(d, &regressingProgram{})
+}
+
+// buggyProgram panics with a non-PowerFailure value.
+type buggyProgram struct{}
+
+func (buggyProgram) Boot(*device.Device) error { panic("index out of range") }
+
+func TestNonPowerFailurePanicsPropagate(t *testing.T) {
+	d := device.New(device.DefaultCosts(), device.Continuous{})
+	defer func() {
+		if r := recover(); r != "index out of range" {
+			t.Errorf("recovered %v, want original panic", r)
+		}
+	}()
+	(&Runner{}).Run(d, buggyProgram{})
+}
+
+// errorProgram returns a regular error from Boot.
+type errorProgram struct{}
+
+func (errorProgram) Boot(*device.Device) error { return errors.New("bad input") }
+
+func TestProgramErrorReturned(t *testing.T) {
+	d := device.New(device.DefaultCosts(), device.Continuous{})
+	res := (&Runner{}).Run(d, errorProgram{})
+	if res.Completed {
+		t.Error("errored program marked completed")
+	}
+	if res.Err == nil || res.Err.Error() != "bad input" {
+		t.Errorf("err = %v", res.Err)
+	}
+}
+
+func TestWastedWorkBounded(t *testing.T) {
+	// With per-chunk commits, re-executed work per outage is at most
+	// one chunk: total charged ops <= chunks*chunkOps + boots*(chunkOps+overhead).
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	p := &chunkProgram{totalChunks: 50, chunkOps: 200000}
+	res := (&Runner{}).Run(d, p)
+	if !res.Completed {
+		t.Fatalf("did not complete: %+v", res)
+	}
+	s := d.Stats()
+	usefulOps := float64(50 * 200000)
+	chargedCPU := s.Energy[device.CatCPU] / device.DefaultCosts().CPUCyclenJ
+	maxWaste := float64(res.Boots+1) * 200000
+	if chargedCPU > usefulOps+maxWaste {
+		t.Errorf("charged %v op-cycles, useful %v, allowed waste %v",
+			chargedCPU, usefulOps, maxWaste)
+	}
+}

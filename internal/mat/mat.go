@@ -1,0 +1,185 @@
+// Package mat provides the small dense float64 vector and matrix
+// helpers the offline RAD training pipeline needs. It is deliberately
+// minimal — training happens on the host, so clarity beats raw speed.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewRandom returns a Rows×Cols matrix with entries drawn uniformly
+// from [-limit, limit] using rng (Xavier-style init when limit is
+// sqrt(6/(in+out))).
+func NewRandom(rows, cols int, limit float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return m
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = M·x. len(x) must equal Cols; the result has
+// length Rows.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec got %d elements, want %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var sum float64
+		for c, xv := range x {
+			sum += row[c] * xv
+		}
+		y[r] = sum
+	}
+	return y
+}
+
+// TMulVec computes y = Mᵀ·x. len(x) must equal Rows; the result has
+// length Cols. Used by backprop to push gradients through a layer.
+func (m *Matrix) TMulVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("mat: TMulVec got %d elements, want %d", len(x), m.Rows))
+	}
+	y := make([]float64, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		xv := x[r]
+		for c := range row {
+			y[c] += row[c] * xv
+		}
+	}
+	return y
+}
+
+// AddScaled performs m += a*other element-wise.
+func (m *Matrix) AddScaled(other *Matrix, a float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("mat: AddScaled shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += a * other.Data[i]
+	}
+}
+
+// Scale multiplies every element by a.
+func (m *Matrix) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// FrobeniusNorm returns sqrt(sum of squared entries).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of equal-length slices a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AddScaledVec performs dst += a*src element-wise.
+func AddScaledVec(dst, src []float64, a float64) {
+	if len(dst) != len(src) {
+		panic("mat: AddScaledVec length mismatch")
+	}
+	for i := range src {
+		dst[i] += a * src[i]
+	}
+}
+
+// Argmax returns the index of the largest element of v (first one on
+// ties); -1 for an empty slice.
+func Argmax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Softmax returns the softmax of v, computed with the max-subtraction
+// trick for numerical stability.
+func Softmax(v []float64) []float64 {
+	out := make([]float64, len(v))
+	if len(v) == 0 {
+		return out
+	}
+	m := v[Argmax(v)]
+	var sum float64
+	for i, x := range v {
+		e := math.Exp(x - m)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape[0], shape[1])
+		}()
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Errorf("At(1,2) = %v", got)
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Errorf("Row(1)[2] = %v", row[2])
+	}
+	row[0] = 3 // view semantics
+	if m.At(1, 0) != 3 {
+		t.Error("Row must be a view, not a copy")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := New(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := m.MulVec([]float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MulVec = %v", y)
+	}
+}
+
+func TestTMulVecIsTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewRandom(4, 3, 1, rng)
+	x := []float64{0.5, -1, 2, 0.25}
+	got := m.TMulVec(x)
+	// Build transpose explicitly and compare.
+	mt := New(3, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 3; c++ {
+			mt.Set(c, r, m.At(r, c))
+		}
+	}
+	want := mt.MulVec(x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("TMulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2, 3).MulVec([]float64{1, 2})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestAddScaledAndScaleAndZero(t *testing.T) {
+	m := New(1, 3)
+	copy(m.Data, []float64{1, 2, 3})
+	o := New(1, 3)
+	copy(o.Data, []float64{1, 1, 1})
+	m.AddScaled(o, 2)
+	if m.Data[0] != 3 || m.Data[1] != 4 || m.Data[2] != 5 {
+		t.Errorf("AddScaled = %v", m.Data)
+	}
+	m.Scale(0.5)
+	if m.Data[0] != 1.5 {
+		t.Errorf("Scale = %v", m.Data)
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Errorf("Zero left %v", m.Data)
+		}
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := New(1, 2)
+	copy(m.Data, []float64{3, 4})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2}, []float64{3, 4}); got != 11 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestAddScaledVec(t *testing.T) {
+	dst := []float64{1, 1}
+	AddScaledVec(dst, []float64{2, 3}, 2)
+	if dst[0] != 5 || dst[1] != 7 {
+		t.Errorf("AddScaledVec = %v", dst)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax([]float64{1, 5, 3}); got != 1 {
+		t.Errorf("Argmax = %d", got)
+	}
+	if got := Argmax([]float64{2, 2}); got != 0 {
+		t.Errorf("Argmax tie = %d, want first", got)
+	}
+	if got := Argmax(nil); got != -1 {
+		t.Errorf("Argmax(nil) = %d", got)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	err := quick.Check(func(a, b, c float64) bool {
+		// Constrain magnitudes so Exp stays finite.
+		clip := func(x float64) float64 { return math.Mod(x, 50) }
+		s := Softmax([]float64{clip(a), clip(b), clip(c)})
+		var sum float64
+		for _, v := range s {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxOrderPreserving(t *testing.T) {
+	s := Softmax([]float64{1, 3, 2})
+	if !(s[1] > s[2] && s[2] > s[0]) {
+		t.Errorf("Softmax not order preserving: %v", s)
+	}
+}
+
+func TestSoftmaxLargeValuesStable(t *testing.T) {
+	s := Softmax([]float64{1000, 1001})
+	if math.IsNaN(s[0]) || math.IsNaN(s[1]) {
+		t.Fatalf("Softmax overflowed: %v", s)
+	}
+	if math.Abs(s[0]+s[1]-1) > 1e-9 {
+		t.Errorf("Softmax sum = %v", s[0]+s[1])
+	}
+}
+
+func TestNewRandomWithinLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewRandom(10, 10, 0.5, rng)
+	for _, v := range m.Data {
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("value %v outside limit", v)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv2D is a valid-padding, stride-1 convolution over channel-major
+// (C, H, W) inputs. An optional structured-pruning mask (same shape as
+// the weights) is applied multiplicatively in both passes, so ADMM's
+// hard-pruned positions stay exactly zero through retraining.
+type Conv2D struct {
+	InC, InH, InW int
+	OutC, KH, KW  int
+
+	W *Tensor // OutC·InC·KH·KW, laid out [oc][ic][ky][kx]
+	B *Tensor // OutC
+
+	// Mask is nil for a dense layer; otherwise 0/1 per weight.
+	Mask []float64
+
+	x []float64 // cached input for Backward
+}
+
+// NewConv2D builds a convolution layer with Xavier-uniform init.
+func NewConv2D(inC, inH, inW, outC, kh, kw int, rng *rand.Rand) *Conv2D {
+	if inH < kh || inW < kw {
+		panic(fmt.Sprintf("nn: conv kernel %dx%d larger than input %dx%d", kh, kw, inH, inW))
+	}
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, KH: kh, KW: kw,
+		W: NewTensor("conv.w", outC*inC*kh*kw),
+		B: NewTensor("conv.b", outC),
+	}
+	fanIn := float64(inC * kh * kw)
+	fanOut := float64(outC * kh * kw)
+	c.W.InitUniform(math.Sqrt(6/(fanIn+fanOut)), rng)
+	return c
+}
+
+// OutH returns the output height (valid padding, stride 1).
+func (c *Conv2D) OutH() int { return c.InH - c.KH + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return c.InW - c.KW + 1 }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return "conv2d" }
+
+// OutLen implements Layer.
+func (c *Conv2D) OutLen() int { return c.OutC * c.OutH() * c.OutW() }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Tensor { return []*Tensor{c.W, c.B} }
+
+// weight returns the effective (masked) weight at flat index i.
+func (c *Conv2D) weight(i int) float64 {
+	if c.Mask != nil {
+		return c.W.Data[i] * c.Mask[i]
+	}
+	return c.W.Data[i]
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x []float64) []float64 {
+	checkLen("conv2d", len(x), c.InC*c.InH*c.InW)
+	c.x = x
+	oh, ow := c.OutH(), c.OutW()
+	out := make([]float64, c.OutC*oh*ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := c.B.Data[oc]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := bias
+				for ic := 0; ic < c.InC; ic++ {
+					wBase := ((oc*c.InC + ic) * c.KH) * c.KW
+					xBase := ic*c.InH*c.InW + oy*c.InW + ox
+					for ky := 0; ky < c.KH; ky++ {
+						wRow := wBase + ky*c.KW
+						xRow := xBase + ky*c.InW
+						for kx := 0; kx < c.KW; kx++ {
+							sum += c.weight(wRow+kx) * x[xRow+kx]
+						}
+					}
+				}
+				out[(oc*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy []float64) []float64 {
+	oh, ow := c.OutH(), c.OutW()
+	checkLen("conv2d backward", len(dy), c.OutC*oh*ow)
+	dx := make([]float64, c.InC*c.InH*c.InW)
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := dy[(oc*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				c.B.Grad[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					wBase := ((oc*c.InC + ic) * c.KH) * c.KW
+					xBase := ic*c.InH*c.InW + oy*c.InW + ox
+					for ky := 0; ky < c.KH; ky++ {
+						wRow := wBase + ky*c.KW
+						xRow := xBase + ky*c.InW
+						for kx := 0; kx < c.KW; kx++ {
+							c.W.Grad[wRow+kx] += g * c.x[xRow+kx]
+							dx[xRow+kx] += g * c.weight(wRow+kx)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Masked positions accumulate no gradient.
+	if c.Mask != nil {
+		for i, m := range c.Mask {
+			c.W.Grad[i] *= m
+		}
+	}
+	return dx
+}
+
+// ApplyMask installs a structured-pruning mask and zeroes the masked
+// weights so the dense storage matches the pruned model.
+func (c *Conv2D) ApplyMask(mask []float64) {
+	if len(mask) != len(c.W.Data) {
+		panic("nn: mask length mismatch")
+	}
+	c.Mask = mask
+	for i, m := range mask {
+		if m == 0 {
+			c.W.Data[i] = 0
+		}
+	}
+}
+
+// MaxPool2D is a non-overlapping max pooling layer over (C, H, W)
+// inputs with a square window; H and W must divide evenly by Size.
+type MaxPool2D struct {
+	C, H, W int
+	Size    int
+
+	argmax []int // cached winner index per output element
+}
+
+// NewMaxPool2D builds a pooling layer.
+func NewMaxPool2D(c, h, w, size int) *MaxPool2D {
+	if h%size != 0 || w%size != 0 {
+		panic(fmt.Sprintf("nn: pool size %d does not divide %dx%d", size, h, w))
+	}
+	return &MaxPool2D{C: c, H: h, W: w, Size: size}
+}
+
+// OutH returns the pooled height.
+func (p *MaxPool2D) OutH() int { return p.H / p.Size }
+
+// OutW returns the pooled width.
+func (p *MaxPool2D) OutW() int { return p.W / p.Size }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return "maxpool2d" }
+
+// OutLen implements Layer.
+func (p *MaxPool2D) OutLen() int { return p.C * p.OutH() * p.OutW() }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Tensor { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x []float64) []float64 {
+	checkLen("maxpool2d", len(x), p.C*p.H*p.W)
+	oh, ow := p.OutH(), p.OutW()
+	out := make([]float64, p.C*oh*ow)
+	p.argmax = make([]int, len(out))
+	for c := 0; c < p.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				bestIdx := -1
+				for dy := 0; dy < p.Size; dy++ {
+					for dx := 0; dx < p.Size; dx++ {
+						idx := c*p.H*p.W + (oy*p.Size+dy)*p.W + ox*p.Size + dx
+						if x[idx] > best {
+							best = x[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := (c*oh+oy)*ow + ox
+				out[o] = best
+				p.argmax[o] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dy []float64) []float64 {
+	checkLen("maxpool2d backward", len(dy), p.OutLen())
+	dx := make([]float64, p.C*p.H*p.W)
+	for o, g := range dy {
+		dx[p.argmax[o]] += g
+	}
+	return dx
+}
+
+// ReLU is the rectifier, elementwise over any shape.
+type ReLU struct {
+	N    int
+	mask []bool
+}
+
+// NewReLU builds a rectifier for inputs of length n.
+func NewReLU(n int) *ReLU { return &ReLU{N: n} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// OutLen implements Layer.
+func (r *ReLU) OutLen() int { return r.N }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Tensor { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64) []float64 {
+	checkLen("relu", len(x), r.N)
+	out := make([]float64, r.N)
+	r.mask = make([]bool, r.N)
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy []float64) []float64 {
+	checkLen("relu backward", len(dy), r.N)
+	dx := make([]float64, r.N)
+	for i, g := range dy {
+		if r.mask[i] {
+			dx[i] = g
+		}
+	}
+	return dx
+}

@@ -1,0 +1,319 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"ehdl/internal/circulant"
+)
+
+// Dense is a fully connected layer y = Wx + b with an optional
+// weight-row normalization: with WeightNorm set, each output uses
+// ŵ_r = w_r / max(‖w_r‖, ε), RAD's mechanism (via cosine
+// normalization, §III-A) for keeping pre-activations inside [-1, 1]
+// regardless of how training scales the raw weights.
+type Dense struct {
+	In, Out    int
+	WeightNorm bool
+
+	W *Tensor // Out·In, row-major
+	B *Tensor // Out
+
+	x     []float64 // cached input
+	norms []float64 // cached ‖w_r‖ when WeightNorm
+}
+
+const weightNormEps = 1e-3
+
+// NewDense builds a fully connected layer with Xavier-uniform init.
+func NewDense(in, out int, weightNorm bool, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out, WeightNorm: weightNorm,
+		W: NewTensor("dense.w", out*in),
+		B: NewTensor("dense.b", out),
+	}
+	d.W.InitUniform(math.Sqrt(6/float64(in+out)), rng)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// OutLen implements Layer.
+func (d *Dense) OutLen() int { return d.Out }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Tensor { return []*Tensor{d.W, d.B} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	checkLen("dense", len(x), d.In)
+	d.x = x
+	out := make([]float64, d.Out)
+	if d.WeightNorm {
+		d.norms = make([]float64, d.Out)
+	}
+	for r := 0; r < d.Out; r++ {
+		row := d.W.Data[r*d.In : (r+1)*d.In]
+		var sum float64
+		for c, xv := range x {
+			sum += row[c] * xv
+		}
+		if d.WeightNorm {
+			n := rowNorm(row)
+			d.norms[r] = n
+			sum /= n
+		}
+		out[r] = sum + d.B.Data[r]
+	}
+	return out
+}
+
+func rowNorm(row []float64) float64 {
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	return math.Max(math.Sqrt(s), weightNormEps)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy []float64) []float64 {
+	checkLen("dense backward", len(dy), d.Out)
+	dx := make([]float64, d.In)
+	for r := 0; r < d.Out; r++ {
+		g := dy[r]
+		d.B.Grad[r] += g
+		row := d.W.Data[r*d.In : (r+1)*d.In]
+		grow := d.W.Grad[r*d.In : (r+1)*d.In]
+		if !d.WeightNorm {
+			for c := 0; c < d.In; c++ {
+				grow[c] += g * d.x[c]
+				dx[c] += g * row[c]
+			}
+			continue
+		}
+		// y_r = (w_r·x)/n_r + b_r with n_r = ‖w_r‖ (when above ε):
+		// dy/dw = x/n − (w_r·x)·w_r/n³ ; dy/dx = w_r/n.
+		n := d.norms[r]
+		var dot float64
+		for c := 0; c < d.In; c++ {
+			dot += row[c] * d.x[c]
+		}
+		inv := 1 / n
+		inv3dot := dot / (n * n * n)
+		clamped := n == weightNormEps
+		for c := 0; c < d.In; c++ {
+			if clamped {
+				grow[c] += g * d.x[c] * inv
+			} else {
+				grow[c] += g * (d.x[c]*inv - row[c]*inv3dot)
+			}
+			dx[c] += g * row[c] * inv
+		}
+	}
+	return dx
+}
+
+// NormalizedWeights returns the effective weight matrix rows (after
+// weight normalization if enabled) — what the quantizer exports.
+func (d *Dense) NormalizedWeights() []float64 {
+	out := make([]float64, len(d.W.Data))
+	copy(out, d.W.Data)
+	if d.WeightNorm {
+		for r := 0; r < d.Out; r++ {
+			row := out[r*d.In : (r+1)*d.In]
+			n := rowNorm(row)
+			for c := range row {
+				row[c] /= n
+			}
+		}
+	}
+	return out
+}
+
+// BCMDense is a fully connected layer whose weight matrix is
+// block-circulant: the compressed format RAD applies to FC layers.
+// Parameters live in a single flat tensor (P·Q·K defining values);
+// the BCM view shares that storage.
+//
+// With CosNorm set the layer applies RAD's cosine normalization
+// (§III-A): y = (W/n)·(x/m) + b with n the largest block-row weight
+// norm and m = max(‖x‖, 1). Both scale factors keep every intermediate
+// inside the fixed-point range — without them a 16-bit deployment of a
+// freely-trained network loses most of its precision to range scaling.
+// The factors are treated as constants in the backward pass
+// (straight-through), which in practice steers training to bounded
+// weights without the full quotient-rule gradient.
+type BCMDense struct {
+	In, Out, K int
+	CosNorm    bool
+
+	W *Tensor // P·Q·K block-defining values
+	B *Tensor // Out
+
+	bcm *circulant.BCM // views into W.Data
+	x   []float64
+	// cached forward scales for Backward (straight-through).
+	invNM float64
+}
+
+// NewBCMDense builds a BCM-compressed FC layer with block size k.
+func NewBCMDense(in, out, k int, cosNorm bool, rng *rand.Rand) *BCMDense {
+	probe := circulant.New(out, in, k)
+	w := NewTensor("bcm.w", probe.ParamCount())
+	// Each output sums In contributions: scale init like a dense layer.
+	w.InitUniform(math.Sqrt(6/float64(in+out)), rng)
+	return &BCMDense{
+		In: in, Out: out, K: k, CosNorm: cosNorm,
+		W:   w,
+		B:   NewTensor("bcm.b", out),
+		bcm: circulant.FromFlat(out, in, k, w.Data),
+	}
+}
+
+// WeightNorm returns n: the largest over block rows of the row weight
+// norm sqrt(Σ_j ‖w_ij‖²), floored at weightNormEps. Circulant rows
+// within a block row are permutations of each other, so they share one
+// norm. This uniform scalar is what export folds into the weights.
+func (d *BCMDense) WeightNorm() float64 {
+	var maxN float64
+	for i := 0; i < d.bcm.P; i++ {
+		var s float64
+		for j := 0; j < d.bcm.Q; j++ {
+			for _, v := range d.bcm.Blocks[i][j] {
+				s += v * v
+			}
+		}
+		maxN = math.Max(maxN, math.Sqrt(s))
+	}
+	return math.Max(maxN, weightNormEps)
+}
+
+// cosNormGain is the fixed gain applied after cosine normalization
+// (Luo et al. recommend a scale factor; without one the bounded
+// outputs starve downstream layers of signal). Power of two, so it
+// folds into the quantizer's shift bookkeeping for free.
+const cosNormGain = 4.0
+
+// inputScale returns 1/max(‖x‖, 1).
+func inputScale(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	n := math.Sqrt(s)
+	if n <= 1 {
+		return 1
+	}
+	return 1 / n
+}
+
+// Name implements Layer.
+func (d *BCMDense) Name() string { return "bcmdense" }
+
+// OutLen implements Layer.
+func (d *BCMDense) OutLen() int { return d.Out }
+
+// Params implements Layer.
+func (d *BCMDense) Params() []*Tensor { return []*Tensor{d.W, d.B} }
+
+// BCM returns the live block-circulant view of the weights.
+func (d *BCMDense) BCM() *circulant.BCM { return d.bcm }
+
+// Forward implements Layer.
+func (d *BCMDense) Forward(x []float64) []float64 {
+	checkLen("bcmdense", len(x), d.In)
+	d.x = x
+	d.invNM = 1
+	if d.CosNorm {
+		d.invNM = cosNormGain * inputScale(x) / d.WeightNorm()
+	}
+	out := d.bcm.MulVec(x)
+	for r := range out {
+		out[r] = out[r]*d.invNM + d.B.Data[r]
+	}
+	return out
+}
+
+// Backward implements Layer (scales treated as constants).
+func (d *BCMDense) Backward(dy []float64) []float64 {
+	checkLen("bcmdense backward", len(dy), d.Out)
+	scaled := dy
+	if d.invNM != 1 {
+		scaled = make([]float64, len(dy))
+		for r, g := range dy {
+			scaled[r] = g * d.invNM
+		}
+	}
+	for r, g := range dy {
+		d.B.Grad[r] += g
+	}
+	dx, grads := d.bcm.Backward(d.x, scaled)
+	p := d.bcm.P
+	q := d.bcm.Q
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			off := (i*q + j) * d.K
+			for t := 0; t < d.K; t++ {
+				d.W.Grad[off+t] += grads[i][j][t]
+			}
+		}
+	}
+	return dx
+}
+
+// CosNormFactor returns the full forward scale gain·(1/m)/n the layer
+// applies for input x (1 when CosNorm is off) — the quantizer's bound
+// computations are linear in it.
+func (d *BCMDense) CosNormFactor(x []float64) float64 {
+	if !d.CosNorm {
+		return 1
+	}
+	return cosNormGain * inputScale(x) / d.WeightNorm()
+}
+
+// NormalizedBlocks returns the flat block weights with the uniform
+// cosine-normalization factor folded in (w/n); the identity when
+// CosNorm is off. This is what the quantizer stores.
+func (d *BCMDense) NormalizedBlocks() []float64 {
+	out := make([]float64, len(d.W.Data))
+	copy(out, d.W.Data)
+	if d.CosNorm {
+		scale := cosNormGain / d.WeightNorm()
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}
+
+// Flatten is a shape adapter; data is already flat, so it is the
+// identity on values and exists for architectural clarity.
+type Flatten struct {
+	N int
+}
+
+// NewFlatten builds a flatten layer for inputs of length n.
+func NewFlatten(n int) *Flatten { return &Flatten{N: n} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// OutLen implements Layer.
+func (f *Flatten) OutLen() int { return f.N }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Tensor { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x []float64) []float64 {
+	checkLen("flatten", len(x), f.N)
+	return x
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dy []float64) []float64 {
+	checkLen("flatten backward", len(dy), f.N)
+	return dy
+}

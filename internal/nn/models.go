@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LayerSpec describes one layer as plain data. Architectures-as-data
+// let RAD's search enumerate candidates, the quantizer export models,
+// and the on-device runtimes rebuild execution plans — all from one
+// source of truth.
+type LayerSpec struct {
+	Kind string // "conv", "pool", "relu", "flatten", "dense", "bcm"
+
+	// conv
+	InC, InH, InW int
+	OutC, KH, KW  int
+	// PruneRatio is the structured-pruning target for conv layers:
+	// the fraction of kernel positions to remove (0.5 = the paper's
+	// 2x compression). Zero means dense.
+	PruneRatio float64
+
+	// pool
+	PoolSize int
+
+	// dense / bcm
+	In, Out int
+	K       int // BCM block size
+	// WeightNorm enables RAD's normalization: weight-row normalization
+	// on dense layers, full cosine normalization (weight norm plus
+	// input-norm scaling) on bcm layers.
+	WeightNorm bool
+
+	// relu / flatten
+	N int
+}
+
+// Arch is an architecture: an ordered list of layer specs.
+type Arch struct {
+	Name       string
+	InShape    [3]int // C, H, W
+	NumClasses int
+	Specs      []LayerSpec
+}
+
+// InLen returns the flattened input length.
+func (a *Arch) InLen() int { return a.InShape[0] * a.InShape[1] * a.InShape[2] }
+
+// Build instantiates a trainable network from the spec list.
+func (a *Arch) Build(rng *rand.Rand) *Network {
+	layers := make([]Layer, 0, len(a.Specs))
+	for _, s := range a.Specs {
+		switch s.Kind {
+		case "conv":
+			layers = append(layers, NewConv2D(s.InC, s.InH, s.InW, s.OutC, s.KH, s.KW, rng))
+		case "pool":
+			layers = append(layers, NewMaxPool2D(s.InC, s.InH, s.InW, s.PoolSize))
+		case "relu":
+			layers = append(layers, NewReLU(s.N))
+		case "flatten":
+			layers = append(layers, NewFlatten(s.N))
+		case "dense":
+			layers = append(layers, NewDense(s.In, s.Out, s.WeightNorm, rng))
+		case "bcm":
+			layers = append(layers, NewBCMDense(s.In, s.Out, s.K, s.WeightNorm, rng))
+		default:
+			panic(fmt.Sprintf("nn: unknown layer kind %q", s.Kind))
+		}
+	}
+	return NewNetwork(a.Name, a.InLen(), layers...)
+}
+
+// MNISTArch is Table II's image-classification model: LeNet-style.
+//
+//	Conv 6×1×5×5 → pool → relu → Conv 16×6×5×5 (structured pruning 2x)
+//	→ pool → relu → FC 256×256 (BCM, block fcK) → relu → FC 256×10
+//
+// fcK is the BCM block size of the first FC layer (128 in the paper;
+// Fig. 8 sweeps 32/64/128). prune enables the conv2 structured
+// pruning. The 256×256 FC layer keeps its activations in fixed-point
+// range without cosine normalization, so only the final classifier is
+// weight-normalized; HAR and OKG, whose FC inputs are an order of
+// magnitude wider, need the full normalization.
+func MNISTArch(fcK int, prune bool) *Arch {
+	pruneRatio := 0.0
+	if prune {
+		pruneRatio = 0.5
+	}
+	return &Arch{
+		Name:       "mnist",
+		InShape:    [3]int{1, 28, 28},
+		NumClasses: 10,
+		Specs: []LayerSpec{
+			{Kind: "conv", InC: 1, InH: 28, InW: 28, OutC: 6, KH: 5, KW: 5},
+			{Kind: "pool", InC: 6, InH: 24, InW: 24, PoolSize: 2},
+			{Kind: "relu", N: 6 * 12 * 12},
+			{Kind: "conv", InC: 6, InH: 12, InW: 12, OutC: 16, KH: 5, KW: 5, PruneRatio: pruneRatio},
+			{Kind: "pool", InC: 16, InH: 8, InW: 8, PoolSize: 2},
+			{Kind: "relu", N: 16 * 4 * 4},
+			{Kind: "flatten", N: 256},
+			{Kind: "bcm", In: 256, Out: 256, K: fcK},
+			{Kind: "relu", N: 256},
+			{Kind: "dense", In: 256, Out: 10, WeightNorm: true},
+		},
+	}
+}
+
+// MNISTDenseArch is the uncompressed MNIST model (BASE/SONIC/TAILS run
+// this: no BCM, no pruning), with the first FC layer dense.
+func MNISTDenseArch() *Arch {
+	a := MNISTArch(128, false)
+	a.Name = "mnist-dense"
+	a.Specs[7] = LayerSpec{Kind: "dense", In: 256, Out: 256}
+	return a
+}
+
+// HARArch is Table II's wearable model:
+//
+//	Conv 32×1×1×12 → relu → FC 3520×128 (BCM k1) → relu →
+//	FC 128×64 (BCM k2) → relu → FC 64×6
+//
+// Paper values: k1=128, k2=64.
+func HARArch(k1, k2 int) *Arch {
+	return &Arch{
+		Name:       "har",
+		InShape:    [3]int{1, 1, 121},
+		NumClasses: 6,
+		Specs: []LayerSpec{
+			{Kind: "conv", InC: 1, InH: 1, InW: 121, OutC: 32, KH: 1, KW: 12},
+			{Kind: "relu", N: 32 * 110},
+			{Kind: "flatten", N: 3520},
+			{Kind: "bcm", In: 3520, Out: 128, K: k1, WeightNorm: true},
+			{Kind: "relu", N: 128},
+			{Kind: "bcm", In: 128, Out: 64, K: k2},
+			{Kind: "relu", N: 64},
+			{Kind: "dense", In: 64, Out: 6, WeightNorm: true},
+		},
+	}
+}
+
+// HARDenseArch is the uncompressed HAR model.
+func HARDenseArch() *Arch {
+	a := HARArch(128, 64)
+	a.Name = "har-dense"
+	a.Specs[3] = LayerSpec{Kind: "dense", In: 3520, Out: 128}
+	a.Specs[5] = LayerSpec{Kind: "dense", In: 128, Out: 64}
+	return a
+}
+
+// OKGArch is Table II's keyword-recognition model:
+//
+//	Conv 6×1×5×5 → relu → FC 3456×512 (BCM k1) → relu →
+//	FC 512×256 (BCM k2) → relu → FC 256×128 (BCM k3) → relu →
+//	FC 128×12
+//
+// Paper values: k1=256, k2=128, k3=64.
+func OKGArch(k1, k2, k3 int) *Arch {
+	return &Arch{
+		Name:       "okg",
+		InShape:    [3]int{1, 28, 28},
+		NumClasses: 12,
+		Specs: []LayerSpec{
+			{Kind: "conv", InC: 1, InH: 28, InW: 28, OutC: 6, KH: 5, KW: 5},
+			{Kind: "relu", N: 6 * 24 * 24},
+			{Kind: "flatten", N: 3456},
+			{Kind: "bcm", In: 3456, Out: 512, K: k1, WeightNorm: true},
+			{Kind: "relu", N: 512},
+			{Kind: "bcm", In: 512, Out: 256, K: k2},
+			{Kind: "relu", N: 256},
+			{Kind: "bcm", In: 256, Out: 128, K: k3},
+			{Kind: "relu", N: 128},
+			{Kind: "dense", In: 128, Out: 12, WeightNorm: true},
+		},
+	}
+}
+
+// OKGDenseArch is the uncompressed OKG model.
+func OKGDenseArch() *Arch {
+	a := OKGArch(256, 128, 64)
+	a.Name = "okg-dense"
+	a.Specs[3] = LayerSpec{Kind: "dense", In: 3456, Out: 512}
+	a.Specs[5] = LayerSpec{Kind: "dense", In: 512, Out: 256}
+	a.Specs[7] = LayerSpec{Kind: "dense", In: 256, Out: 128}
+	return a
+}

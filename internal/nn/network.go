@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+
+	"ehdl/internal/mat"
+)
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Name   string
+	InLen  int
+	Layers []Layer
+}
+
+// NewNetwork validates that consecutive layer shapes line up by
+// running a zero probe through the stack.
+func NewNetwork(name string, inLen int, layers ...Layer) *Network {
+	n := &Network{Name: name, InLen: inLen, Layers: layers}
+	probe := make([]float64, inLen)
+	defer func() {
+		if r := recover(); r != nil {
+			panic(fmt.Sprintf("nn: network %q has inconsistent shapes: %v", name, r))
+		}
+	}()
+	n.Forward(probe)
+	return n
+}
+
+// Forward runs the full stack and returns the logits.
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dLoss/dlogits through the stack, accumulating
+// parameter gradients.
+func (n *Network) Backward(dy []float64) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dy = n.Layers[i].Backward(dy)
+	}
+}
+
+// Params returns every trainable tensor in the network.
+func (n *Network) Params() []*Tensor {
+	var ps []*Tensor
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Predict returns the argmax class for input x.
+func (n *Network) Predict(x []float64) int {
+	return mat.Argmax(n.Forward(x))
+}
+
+// OutLen returns the logits length.
+func (n *Network) OutLen() int { return n.Layers[len(n.Layers)-1].OutLen() }
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Data)
+	}
+	return total
+}

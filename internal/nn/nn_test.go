@@ -1,0 +1,323 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGrad computes dLoss/dparam by central differences for a
+// network whose loss is <logits, dy>.
+func numericGrad(n *Network, x, dy []float64, p *Tensor, i int) float64 {
+	const h = 1e-6
+	loss := func() float64 {
+		out := n.Forward(x)
+		var s float64
+		for j := range out {
+			s += out[j] * dy[j]
+		}
+		return s
+	}
+	orig := p.Data[i]
+	p.Data[i] = orig + h
+	lp := loss()
+	p.Data[i] = orig - h
+	lm := loss()
+	p.Data[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// checkGrads verifies every parameter gradient of the network against
+// central differences, sampling at most maxPer per tensor.
+func checkGrads(t *testing.T, n *Network, x []float64, rng *rand.Rand, tol float64, maxPer int) {
+	t.Helper()
+	dy := make([]float64, n.OutLen())
+	for i := range dy {
+		dy[i] = rng.Float64()*2 - 1
+	}
+	n.ZeroGrad()
+	n.Forward(x)
+	n.Backward(dy)
+	for _, p := range n.Params() {
+		idxs := rng.Perm(len(p.Data))
+		if len(idxs) > maxPer {
+			idxs = idxs[:maxPer]
+		}
+		for _, i := range idxs {
+			num := numericGrad(n, x, dy, p, i)
+			if math.Abs(num-p.Grad[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v, numeric %v", p.Name, i, p.Grad[i], num)
+			}
+		}
+	}
+}
+
+func randInput(n int, rng *rand.Rand) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(2, 6, 6, 3, 3, 3, rng)
+	n := NewNetwork("t", 2*6*6, conv)
+	checkGrads(t, n, randInput(2*6*6, rng), rng, 1e-4, 20)
+}
+
+func TestConv2DMaskedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D(1, 5, 5, 2, 3, 3, rng)
+	mask := make([]float64, len(conv.W.Data))
+	for i := range mask {
+		if i%2 == 0 {
+			mask[i] = 1
+		}
+	}
+	conv.ApplyMask(mask)
+	n := NewNetwork("t", 25, conv)
+	x := randInput(25, rng)
+	checkGrads(t, n, x, rng, 1e-4, 18)
+	// Masked weights stay zero and receive zero gradient.
+	n.ZeroGrad()
+	out := n.Forward(x)
+	dy := make([]float64, len(out))
+	for i := range dy {
+		dy[i] = 1
+	}
+	n.Backward(dy)
+	for i, m := range mask {
+		if m == 0 {
+			if conv.W.Data[i] != 0 {
+				t.Errorf("masked weight %d nonzero", i)
+			}
+			if conv.W.Grad[i] != 0 {
+				t.Errorf("masked weight %d got gradient %v", i, conv.W.Grad[i])
+			}
+		}
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := NewMaxPool2D(1, 4, 4, 2)
+	x := []float64{
+		1, 2, 0, 0,
+		3, 4, 0, 5,
+		0, 0, 7, 0,
+		6, 0, 0, 0,
+	}
+	out := p.Forward(x)
+	want := []float64{4, 5, 6, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("pool[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	dx := p.Backward([]float64{1, 1, 1, 1})
+	// Gradient routes only to the argmax positions.
+	if dx[5] != 1 || dx[7] != 1 || dx[12] != 1 || dx[10] != 1 {
+		t.Errorf("pool backward = %v", dx)
+	}
+	var sum float64
+	for _, v := range dx {
+		sum += v
+	}
+	if sum != 4 {
+		t.Errorf("pool backward total = %v, want 4", sum)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU(4)
+	out := r.Forward([]float64{-1, 2, 0, 3})
+	if out[0] != 0 || out[1] != 2 || out[2] != 0 || out[3] != 3 {
+		t.Errorf("relu forward = %v", out)
+	}
+	dx := r.Backward([]float64{5, 5, 5, 5})
+	if dx[0] != 0 || dx[1] != 5 || dx[2] != 0 || dx[3] != 5 {
+		t.Errorf("relu backward = %v", dx)
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewNetwork("t", 6, NewDense(6, 4, false, rng))
+	checkGrads(t, n, randInput(6, rng), rng, 1e-4, 24)
+}
+
+func TestDenseWeightNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := NewNetwork("t", 5, NewDense(5, 3, true, rng))
+	checkGrads(t, n, randInput(5, rng), rng, 1e-3, 15)
+}
+
+func TestDenseWeightNormBoundsOutputs(t *testing.T) {
+	// With unit-norm rows and |x| ≤ 1 per element, |w·x|/‖w‖ ≤ ‖x‖ —
+	// and for moderate inputs the outputs stay well within Q15 range.
+	rng := rand.New(rand.NewSource(5))
+	d := NewDense(8, 4, true, rng)
+	// Blow up the raw weights: normalization must keep outputs sane.
+	for i := range d.W.Data {
+		d.W.Data[i] *= 1e4
+	}
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 1.0 / 3 // ‖x‖ < 1
+	}
+	out := d.Forward(x)
+	for i, v := range out {
+		if math.Abs(v) > 1 {
+			t.Errorf("normalized output %d = %v escapes [-1,1]", i, v)
+		}
+	}
+}
+
+func TestBCMDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := NewNetwork("t", 8, NewBCMDense(8, 8, 4, false, rng))
+	checkGrads(t, n, randInput(8, rng), rng, 1e-4, 32)
+}
+
+func TestBCMDensePaddedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := NewNetwork("t", 6, NewBCMDense(6, 10, 4, false, rng))
+	checkGrads(t, n, randInput(6, rng), rng, 1e-4, 32)
+}
+
+func TestBCMDenseSharesStorageWithView(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewBCMDense(8, 8, 4, false, rng)
+	d.W.Data[0] = 0.123
+	if d.BCM().Blocks[0][0][0] != 0.123 {
+		t.Error("BCM view does not share tensor storage")
+	}
+}
+
+func TestNetworkStacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := NewNetwork("stack", 16,
+		NewDense(16, 8, false, rng),
+		NewReLU(8),
+		NewDense(8, 3, false, rng),
+	)
+	out := n.Forward(randInput(16, rng))
+	if len(out) != 3 {
+		t.Fatalf("output length %d", len(out))
+	}
+	checkGrads(t, n, randInput(16, rng), rng, 1e-4, 10)
+}
+
+func TestNetworkShapeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched shapes")
+		}
+	}()
+	NewNetwork("bad", 16,
+		NewDense(16, 8, false, rng),
+		NewDense(9, 3, false, rng), // 8 != 9
+	)
+}
+
+func TestEndToEndSmallConvNetGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := NewNetwork("tiny-lenet", 64,
+		NewConv2D(1, 8, 8, 2, 3, 3, rng),
+		NewMaxPool2D(2, 6, 6, 2),
+		NewReLU(2*3*3),
+		NewFlatten(18),
+		NewBCMDense(18, 8, 4, false, rng),
+		NewReLU(8),
+		NewDense(8, 3, false, rng),
+	)
+	checkGrads(t, n, randInput(64, rng), rng, 1e-3, 8)
+}
+
+func TestArchBuildAllPaperModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cases := []struct {
+		arch      *Arch
+		outLen    int
+		wantInLen int
+	}{
+		{MNISTArch(128, true), 10, 784},
+		{MNISTDenseArch(), 10, 784},
+		{HARArch(128, 64), 6, 121},
+		{HARDenseArch(), 6, 121},
+		{OKGArch(256, 128, 64), 12, 784},
+		{OKGDenseArch(), 12, 784},
+	}
+	for _, c := range cases {
+		net := c.arch.Build(rng)
+		if net.OutLen() != c.outLen {
+			t.Errorf("%s: OutLen = %d, want %d", c.arch.Name, net.OutLen(), c.outLen)
+		}
+		if c.arch.InLen() != c.wantInLen {
+			t.Errorf("%s: InLen = %d, want %d", c.arch.Name, c.arch.InLen(), c.wantInLen)
+		}
+		out := net.Forward(make([]float64, c.arch.InLen()))
+		if len(out) != c.outLen {
+			t.Errorf("%s: forward length %d", c.arch.Name, len(out))
+		}
+	}
+}
+
+func TestBCMCompressionFactorsMatchTable2(t *testing.T) {
+	// Table II: MNIST FC1 128x, HAR FC1 128x / FC2 64x,
+	// OKG FC1 256x / FC2 128x / FC3 64x (modulo padding).
+	rng := rand.New(rand.NewSource(13))
+	type fcCheck struct {
+		arch  *Arch
+		spec  int
+		wantK int
+	}
+	for _, c := range []fcCheck{
+		{MNISTArch(128, true), 7, 128},
+		{HARArch(128, 64), 3, 128},
+		{HARArch(128, 64), 5, 64},
+		{OKGArch(256, 128, 64), 3, 256},
+		{OKGArch(256, 128, 64), 5, 128},
+		{OKGArch(256, 128, 64), 7, 64},
+	} {
+		s := c.arch.Specs[c.spec]
+		if s.Kind != "bcm" || s.K != c.wantK {
+			t.Errorf("%s spec %d: kind=%s K=%d, want bcm K=%d",
+				c.arch.Name, c.spec, s.Kind, s.K, c.wantK)
+		}
+	}
+	// Compression factor = dense params / bcm params ≈ K for exact
+	// grids.
+	net := MNISTArch(128, true).Build(rng)
+	var bcm *BCMDense
+	for _, l := range net.Layers {
+		if b, ok := l.(*BCMDense); ok {
+			bcm = b
+		}
+	}
+	dense := 256 * 256
+	got := float64(dense) / float64(len(bcm.W.Data))
+	if math.Abs(got-128) > 1e-9 {
+		t.Errorf("MNIST FC1 compression = %v, want 128", got)
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := NewNetwork("t", 4, NewDense(4, 3, false, rng))
+	if got := n.ParamCount(); got != 4*3+3 {
+		t.Errorf("ParamCount = %d, want 15", got)
+	}
+}
+
+func TestUnknownLayerKindPanics(t *testing.T) {
+	a := &Arch{Name: "bad", InShape: [3]int{1, 1, 4}, Specs: []LayerSpec{{Kind: "mystery"}}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a.Build(rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,64 @@
+// Package nn is the float64 deep-learning stack RAD trains offline:
+// layers (Conv2D, MaxPool2D, ReLU, Dense, BCMDense), sequential
+// networks, and the paper's three model architectures from Table II.
+// It exists to produce weights; the fixed-point on-device engines live
+// in the runtime packages.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tensor is a trainable parameter: flat data with a matching gradient
+// accumulator.
+type Tensor struct {
+	Name string
+	Data []float64
+	Grad []float64
+}
+
+// NewTensor returns a zeroed tensor of length n.
+func NewTensor(name string, n int) *Tensor {
+	return &Tensor{Name: name, Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// InitUniform fills Data uniformly from [-limit, limit].
+func (t *Tensor) InitUniform(limit float64, rng *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a sequential network. Forward
+// caches whatever Backward needs; Backward consumes the cached state
+// and returns the gradient with respect to the layer input. Layers are
+// stateful and not safe for concurrent use — mirroring the single
+// static allocation of an embedded deployment.
+type Layer interface {
+	// Name identifies the layer in reports and serialized models.
+	Name() string
+	// OutLen returns the flattened output length.
+	OutLen() int
+	// Forward computes the layer output for the flattened input.
+	Forward(x []float64) []float64
+	// Backward propagates the upstream gradient, accumulating into
+	// parameter gradients, and returns dL/dx.
+	Backward(dy []float64) []float64
+	// Params returns the trainable tensors (empty for stateless
+	// layers).
+	Params() []*Tensor
+}
+
+func checkLen(layer string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("nn: %s: input length %d, want %d", layer, got, want))
+	}
+}

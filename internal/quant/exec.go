@@ -1,0 +1,283 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"ehdl/internal/circulant"
+	"ehdl/internal/fixed"
+)
+
+// InputScale returns the Q15 cosine-normalization factor
+// 1/max(‖x‖, 1), where ‖x‖ is the TRUE activation norm: the stored
+// vector is x/2^sIn, so its integer norm is shifted back up by sIn
+// before the comparison. The sum of squares is accumulated exactly
+// (the LEA's MAC provides a wide accumulator for this); the final
+// square root and reciprocal run on the CPU. All engines and the
+// reference executor share this function, so the factor is
+// bit-identical everywhere.
+func InputScale(x []fixed.Q15, sIn int) fixed.Q15 {
+	var s uint64
+	for _, v := range x {
+		s += uint64(int64(v) * int64(v)) // Q30 units
+	}
+	norm := math.Sqrt(float64(s)/(1<<30)) * math.Ldexp(1, sIn)
+	if norm <= 1 {
+		return fixed.One
+	}
+	return fixed.FromFloat(1 / norm)
+}
+
+// Reference executor: the bit-exact semantics of the quantized model,
+// with no device charging. Every on-device runtime must produce output
+// identical to this executor for its model — the tests enforce it.
+
+// Executor runs a Model on the host. Two BCM disciplines exist:
+// the FFT path (Algorithm 1, what ACE executes) and the time-domain
+// path (naive circulant MACs, what BASE/SONIC/TAILS execute); they
+// approximate the same real values but round differently, so each
+// engine is tested against its own discipline.
+type Executor struct {
+	m          *Model
+	scratch    map[int]*circulant.Alg1Scratch
+	timeDomain bool
+}
+
+// NewExecutor builds a reference executor using the FFT discipline for
+// BCM layers (ACE's semantics).
+func NewExecutor(m *Model) *Executor {
+	return &Executor{m: m, scratch: map[int]*circulant.Alg1Scratch{}}
+}
+
+// NewTimeExecutor builds a reference executor using the time-domain
+// discipline for BCM layers (the baselines' semantics).
+func NewTimeExecutor(m *Model) *Executor {
+	return &Executor{m: m, scratch: map[int]*circulant.Alg1Scratch{}, timeDomain: true}
+}
+
+// Forward runs the model on a quantized input and returns the
+// quantized logits (at activation scale 2^S of the final layer).
+func (e *Executor) Forward(x []fixed.Q15) []fixed.Q15 {
+	cur := x
+	for li := range e.m.Layers {
+		cur = e.Layer(li, cur)
+	}
+	return cur
+}
+
+// Layer executes a single layer (exported so runtimes can cross-check
+// stage by stage).
+func (e *Executor) Layer(li int, x []fixed.Q15) []fixed.Q15 {
+	l := &e.m.Layers[li]
+	switch l.Spec.Kind {
+	case "conv":
+		return ConvLayer(l, x)
+	case "pool":
+		return PoolLayer(l, x)
+	case "relu":
+		return ReLULayer(l, x)
+	case "flatten":
+		return append([]fixed.Q15(nil), x...)
+	case "dense":
+		return DenseLayer(l, x)
+	case "bcm":
+		if e.timeDomain {
+			return BCMLayerTime(l, x)
+		}
+		k := l.Spec.K
+		s := e.scratch[k]
+		if s == nil {
+			s = circulant.NewAlg1Scratch(k)
+			e.scratch[k] = s
+		}
+		return BCMLayer(l, x, s)
+	}
+	panic(fmt.Sprintf("quant: unknown layer kind %q", l.Spec.Kind))
+}
+
+// Predict quantizes a float input, runs the model, and returns the
+// argmax class.
+func (e *Executor) Predict(x []float64) int {
+	logits := e.Forward(fixed.FromFloats(x))
+	best, bestV := 0, fixed.Q15(-32768)
+	first := true
+	for i, v := range logits {
+		if first || v > bestV {
+			best, bestV = i, v
+			first = false
+		}
+	}
+	return best
+}
+
+// ConvLayer is the quantized convolution: Q31 MAC over kept kernel
+// positions, one combined shift, bias add.
+func ConvLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	s := l.Spec
+	oh := s.InH - s.KH + 1
+	ow := s.InW - s.KW + 1
+	out := make([]fixed.Q15, s.OutC*oh*ow)
+	shift := l.AccShift()
+	positions := s.InC * s.KH * s.KW
+	for oc := 0; oc < s.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc fixed.Q31
+				if l.Kept != nil {
+					for _, p := range l.Kept {
+						ic := p / (s.KH * s.KW)
+						rem := p % (s.KH * s.KW)
+						ky := rem / s.KW
+						kx := rem % s.KW
+						acc = fixed.MAC(acc,
+							l.W[oc*positions+p],
+							x[ic*s.InH*s.InW+(oy+ky)*s.InW+ox+kx])
+					}
+				} else {
+					for ic := 0; ic < s.InC; ic++ {
+						for ky := 0; ky < s.KH; ky++ {
+							wBase := (oc*positions + ic*s.KH*s.KW + ky*s.KW)
+							xBase := ic*s.InH*s.InW + (oy+ky)*s.InW + ox
+							for kx := 0; kx < s.KW; kx++ {
+								acc = fixed.MAC(acc, l.W[wBase+kx], x[xBase+kx])
+							}
+						}
+					}
+				}
+				v := fixed.NarrowQ31(acc, shift)
+				out[(oc*oh+oy)*ow+ox] = fixed.SatAdd(v, l.B[oc])
+			}
+		}
+	}
+	return out
+}
+
+// PoolLayer is quantized max pooling (scale preserving).
+func PoolLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	s := l.Spec
+	oh := s.InH / s.PoolSize
+	ow := s.InW / s.PoolSize
+	out := make([]fixed.Q15, s.InC*oh*ow)
+	for c := 0; c < s.InC; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := fixed.MinusOne
+				for dy := 0; dy < s.PoolSize; dy++ {
+					for dx := 0; dx < s.PoolSize; dx++ {
+						v := x[c*s.InH*s.InW+(oy*s.PoolSize+dy)*s.InW+ox*s.PoolSize+dx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out[(c*oh+oy)*ow+ox] = best
+			}
+		}
+	}
+	return out
+}
+
+// ReLULayer is the quantized rectifier.
+func ReLULayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	out := make([]fixed.Q15, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// DenseLayer is the quantized fully connected layer: Q31 row MACs,
+// combined shift, bias add.
+func DenseLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	s := l.Spec
+	out := make([]fixed.Q15, s.Out)
+	shift := l.AccShift()
+	for r := 0; r < s.Out; r++ {
+		row := l.W[r*s.In : (r+1)*s.In]
+		acc := fixed.Dot(row, x)
+		v := fixed.NarrowQ31(acc, shift)
+		out[r] = fixed.SatAdd(v, l.B[r])
+	}
+	return out
+}
+
+// BCMLayerTime is the time-domain BCM discipline: each output row is
+// a Q31 MAC stream over the circulant generators (no FFT, no block
+// accumulation), exactly what a runtime without Algorithm 1 support
+// can do with the compressed storage. MAC order: blocks j ascending,
+// columns c ascending within a block.
+func BCMLayerTime(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	s := l.Spec
+	k := s.K
+	q := (s.In + k - 1) / k
+	out := make([]fixed.Q15, s.Out)
+	shift := l.AccShift()
+	xs := x
+	if l.CosNorm {
+		scale := InputScale(x, l.SIn)
+		xs = make([]fixed.Q15, len(x))
+		fixed.ScaleVec(xs, x, scale)
+	}
+	for r := 0; r < s.Out; r++ {
+		i := r / k
+		rk := r % k
+		var acc fixed.Q31
+		for j := 0; j < q; j++ {
+			w := l.W[(i*q+j)*k : (i*q+j+1)*k]
+			lim := s.In - j*k
+			if lim > k {
+				lim = k
+			}
+			for c := 0; c < lim; c++ {
+				acc = fixed.MAC(acc, w[(rk-c+k)%k], xs[j*k+c])
+			}
+		}
+		v := fixed.NarrowQ31(acc, shift)
+		out[r] = fixed.SatAdd(v, l.B[r])
+	}
+	return out
+}
+
+// BCMLayer is the quantized block-circulant FC layer: Algorithm 1 raw
+// blocks accumulated in Q15, one combined shift, bias add. Padded
+// positions beyond Spec.In/Spec.Out are zero-filled/dropped here,
+// matching the on-device layout.
+func BCMLayer(l *QLayer, x []fixed.Q15, scratch *circulant.Alg1Scratch) []fixed.Q15 {
+	s := l.Spec
+	k := s.K
+	p := (s.Out + k - 1) / k
+	q := (s.In + k - 1) / k
+
+	xp := make([]fixed.Q15, q*k)
+	copy(xp, x)
+	if l.CosNorm {
+		scale := InputScale(x, l.SIn)
+		fixed.ScaleVec(xp[:len(x)], xp[:len(x)], scale)
+	}
+	conv := make([]fixed.Q15, k)
+	acc := make([]fixed.Q15, k)
+	out := make([]fixed.Q15, s.Out)
+	shift := l.BCMShift()
+
+	for i := 0; i < p; i++ {
+		for d := range acc {
+			acc[d] = 0
+		}
+		for j := 0; j < q; j++ {
+			w := l.W[(i*q+j)*k : (i*q+j+1)*k]
+			circulant.MulBlockRaw(conv, w, xp[j*k:(j+1)*k], uint(l.BShift), scratch)
+			fixed.AddVec(acc, acc, conv)
+		}
+		for d := 0; d < k; d++ {
+			r := i*k + d
+			if r >= s.Out {
+				break
+			}
+			v := fixed.ShiftQ15(acc[d], shift)
+			out[r] = fixed.SatAdd(v, l.B[r])
+		}
+	}
+	return out
+}

@@ -1,0 +1,496 @@
+// Package quant converts trained float models into the 16-bit
+// fixed-point artifacts the on-device runtimes execute — RAD's
+// "fixed point calculation" stage plus ACE's overflow-aware scaling
+// (§III-A/B of the paper).
+//
+// All scaling is by powers of two so the device only ever shifts:
+//
+//   - Activations: layer l's stored activation is â = a/2^S_l, where
+//     S_l ≥ 0 is calibrated so â ∈ [-1, 1] over the calibration set
+//     (the paper's normalization keeps the network's true ranges close
+//     to [-1, 1] already; S_l mops up what training left over).
+//   - Weights: stored as ŵ = w·2^W_l, W_l chosen for maximum precision
+//     subject to the layer's accumulator never overflowing — the
+//     overflow-aware computation of §III-B.
+//   - Each layer ends with one combined shift that converts the raw
+//     accumulator back to the next layer's activation scale.
+//
+// The package also provides a host-side reference executor that
+// defines the bit-exact semantics every runtime must reproduce.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"ehdl/internal/circulant"
+	"ehdl/internal/fixed"
+	"ehdl/internal/nn"
+)
+
+// QLayer is one quantized layer. Which fields are meaningful depends
+// on Spec.Kind.
+type QLayer struct {
+	Spec nn.LayerSpec
+
+	// W holds quantized weights scaled by 2^WShift:
+	//   conv:  [oc][ic][ky][kx] dense layout (masked positions zero)
+	//   dense: [out][in] row-major
+	//   bcm:   P·Q·K block-defining vectors
+	W []fixed.Q15
+	// B holds biases quantized at the OUTPUT activation scale
+	// (b/2^SOut).
+	B []fixed.Q15
+
+	// WShift is the power-of-two pre-scaling of the stored weights
+	// (may be negative for weights larger than Q15 range).
+	WShift int
+	// SIn/SOut are log2 of the input/output activation scales.
+	SIn, SOut int
+
+	// Kept lists the surviving kernel positions (indices into the
+	// ic·kh·kw grid) for shape-pruned conv layers; nil means dense.
+	Kept []int
+
+	// CosNorm marks a BCM layer trained with cosine normalization:
+	// the stored weights already carry the folded weight norm, and the
+	// runtime must scale the layer input by 1/max(‖x‖, 1) (computed
+	// with InputScale) before the block kernels.
+	CosNorm bool
+
+	// BShift is the FFT path's block-domain scale-up: the product
+	// spectrum is shifted left this many bits between MPY and IFFT,
+	// recovering the precision the forward transforms' 1/K scaling
+	// pushed into the low bits. Calibrated so the shifted spectrum
+	// cannot saturate.
+	BShift int
+}
+
+// AccShift returns the right-shift that converts this layer's raw Q31
+// MAC accumulator into the output activation scale:
+// â_out = acc / 2^(WShift + SOut − SIn).
+func (l *QLayer) AccShift() int { return l.WShift + l.SOut - l.SIn }
+
+// BCMShift returns the signed right-shift applied to the accumulated
+// raw BCM blocks: raw blocks carry y·2^(WShift+BShift)/K in
+// input-scale units, so â_out needs a right shift by
+// (WShift + BShift + SOut − SIn − log2 K).
+func (l *QLayer) BCMShift() int {
+	return l.WShift + l.BShift + l.SOut - l.SIn - int(fixed.Log2Ceil(l.Spec.K))
+}
+
+// Model is a quantized network ready for deployment.
+type Model struct {
+	Name       string
+	InShape    [3]int
+	NumClasses int
+	Layers     []QLayer
+}
+
+// WeightBytes returns the FRAM footprint of weights and biases
+// (2 bytes per parameter; pruned conv layers store only kept
+// positions).
+func (m *Model) WeightBytes() int {
+	total := 0
+	for _, l := range m.Layers {
+		switch l.Spec.Kind {
+		case "conv":
+			if l.Kept != nil {
+				total += 2 * l.Spec.OutC * len(l.Kept)
+			} else {
+				total += 2 * len(l.W)
+			}
+			total += 2 * len(l.B)
+		case "dense", "bcm":
+			total += 2 * (len(l.W) + len(l.B))
+		}
+	}
+	return total
+}
+
+// MaxActivationLen returns the largest layer input/output length —
+// what ACE's circular buffers must hold.
+func (m *Model) MaxActivationLen() int {
+	maxLen := m.InShape[0] * m.InShape[1] * m.InShape[2]
+	for _, l := range m.Layers {
+		if n := LayerOutLen(l.Spec); n > maxLen {
+			maxLen = n
+		}
+	}
+	return maxLen
+}
+
+// LayerOutLen returns the flattened output length of a layer spec.
+func LayerOutLen(s nn.LayerSpec) int {
+	switch s.Kind {
+	case "conv":
+		return s.OutC * (s.InH - s.KH + 1) * (s.InW - s.KW + 1)
+	case "pool":
+		return s.InC * (s.InH / s.PoolSize) * (s.InW / s.PoolSize)
+	case "relu", "flatten":
+		return s.N
+	case "dense", "bcm":
+		return s.Out
+	}
+	panic(fmt.Sprintf("quant: unknown layer kind %q", s.Kind))
+}
+
+// accHeadroom is the fraction of the Q31 accumulator range calibration
+// is allowed to fill; the rest is margin for inputs beyond the
+// calibration set.
+const accHeadroom = 0.45
+
+// q15Headroom is the same margin for Q15-domain BCM accumulation.
+const q15Headroom = 0.45
+
+// Quantize calibrates and quantizes a trained network. calibration
+// supplies representative inputs (a slice of the training set); the
+// float net and its arch must correspond layer-for-layer.
+func Quantize(net *nn.Network, arch *nn.Arch, calibration [][]float64) (*Model, error) {
+	if len(calibration) == 0 {
+		return nil, fmt.Errorf("quant: empty calibration set")
+	}
+	if len(net.Layers) != len(arch.Specs) {
+		return nil, fmt.Errorf("quant: net has %d layers, arch %d", len(net.Layers), len(arch.Specs))
+	}
+
+	// Pass 1: record float activations per layer boundary.
+	// acts[l] = activations entering layer l; acts[len] = logits.
+	nLayers := len(net.Layers)
+	maxAbsIn := make([]float64, nLayers+1)
+	// Accumulator bounds per layer. partial is the Σ|terms| bound used
+	// by conv/dense Q31 MACs and (divided by K) the BCM FFT path's Q15
+	// block accumulation; timePartial is the max |running sum| of the
+	// BCM time-domain MAC stream in exact engine order, the bound the
+	// baselines' Q31 accumulation needs.
+	partial := make([]float64, nLayers)
+	timePartial := make([]float64, nLayers)
+	// spectrumBound[li] bounds the FFT product spectrum magnitude of a
+	// BCM layer: max over blocks of (Σ|w_ij|/K)·(Σ|x̂_j|/K), in
+	// true-input units (sIn and WShift folded in later).
+	spectrumBound := make([]float64, nLayers)
+
+	for _, x := range calibration {
+		cur := x
+		for li, layer := range net.Layers {
+			updateMax(&maxAbsIn[li], cur)
+			partial[li] = math.Max(partial[li], partialBound(layer, arch.Specs[li], cur))
+			if arch.Specs[li].Kind == "bcm" {
+				b := layer.(*nn.BCMDense)
+				timePartial[li] = math.Max(timePartial[li], bcmRunningBound(b, cur))
+				spectrumBound[li] = math.Max(spectrumBound[li], bcmSpectrumBound(b, cur))
+			}
+			cur = layer.Forward(cur)
+		}
+		updateMax(&maxAbsIn[nLayers], cur)
+	}
+
+	// Activation scales: S_l = max(0, ceil(log2 maxAbs)).
+	scaleAt := func(boundary int) int {
+		m := maxAbsIn[boundary]
+		if m <= 1 {
+			return 0
+		}
+		return int(math.Ceil(math.Log2(m)))
+	}
+
+	qm := &Model{
+		Name:       arch.Name,
+		InShape:    arch.InShape,
+		NumClasses: arch.NumClasses,
+	}
+	for li, spec := range arch.Specs {
+		sIn := scaleAt(li)
+		sOut := scaleAt(li + 1)
+		ql := QLayer{Spec: spec, SIn: sIn, SOut: sOut}
+		switch spec.Kind {
+		case "conv":
+			conv := net.Layers[li].(*nn.Conv2D)
+			w := effectiveConvWeights(conv)
+			// Partial bound is in true-input units; stored activations
+			// are a/2^sIn, so the accumulator sees partial/2^sIn·2^W.
+			ql.WShift = chooseShift(w, partial[li]/pow2(sIn), 1.99*accHeadroom)
+			ql.W = quantizeScaled(w, ql.WShift)
+			ql.B = quantizeScaled(conv.B.Data, -sOut)
+			if conv.Mask != nil {
+				ql.Kept = keptPositions(conv.Mask, spec.InC*spec.KH*spec.KW)
+			}
+		case "dense":
+			dense := net.Layers[li].(*nn.Dense)
+			w := dense.NormalizedWeights()
+			ql.WShift = chooseShift(w, partial[li]/pow2(sIn), 1.99*accHeadroom)
+			ql.W = quantizeScaled(w, ql.WShift)
+			ql.B = quantizeScaled(dense.B.Data, -sOut)
+		case "bcm":
+			bcm := net.Layers[li].(*nn.BCMDense)
+			// Cosine normalization folds the uniform weight norm into
+			// the stored weights; the input-norm factor is applied by
+			// the runtime (QLayer.CosNorm).
+			w := bcm.NormalizedBlocks()
+			ql.CosNorm = spec.WeightNorm
+			k := float64(spec.K)
+			// Two accumulation disciplines share this weight array:
+			// ACE's FFT path sums raw blocks in Q15 (bound scaled by
+			// 1/K), and the baselines' time-domain path sums Q31 MACs
+			// whose calibrated running extreme (with a 2× margin) must
+			// stay inside the Q31 range.
+			sFFT := chooseShift(w, partial[li]/pow2(sIn)/k, q15Headroom)
+			sTime := chooseShift(w, 2*timePartial[li]/pow2(sIn), 1.8)
+			ql.WShift = sFFT
+			if sTime < ql.WShift {
+				ql.WShift = sTime
+			}
+			ql.W = quantizeScaled(w, ql.WShift)
+			ql.B = quantizeScaled(bcm.B.Data, -sOut)
+			// Block-domain precision recovery: lift the product
+			// spectrum as far as its calibrated bound allows (the
+			// post-IFFT accumulation rises by the same factor, so the
+			// Q15 bound applies to both).
+			bound := spectrumBound[li] * pow2(ql.WShift) / pow2(sIn)
+			accBound := partial[li] / pow2(sIn) / k * pow2(ql.WShift)
+			if accBound > bound {
+				bound = accBound
+			}
+			for ql.BShift < int(fixed.Log2Ceil(spec.K)) &&
+				bound*pow2(ql.BShift+1) <= q15Headroom {
+				ql.BShift++
+			}
+		case "pool", "relu", "flatten":
+			// Stateless; scales pass through.
+		default:
+			return nil, fmt.Errorf("quant: unknown layer kind %q", spec.Kind)
+		}
+		qm.Layers = append(qm.Layers, ql)
+	}
+	return qm, nil
+}
+
+func updateMax(dst *float64, xs []float64) {
+	for _, v := range xs {
+		if a := math.Abs(v); a > *dst {
+			*dst = a
+		}
+	}
+}
+
+// partialBound returns Σ|w·x| for the layer — an upper bound on any
+// partial accumulator value regardless of summation order, in true
+// input units.
+func partialBound(layer nn.Layer, spec nn.LayerSpec, x []float64) float64 {
+	switch spec.Kind {
+	case "conv":
+		conv := layer.(*nn.Conv2D)
+		w := effectiveConvWeights(conv)
+		return convPartialBound(conv, spec, w, x)
+	case "dense":
+		d := layer.(*nn.Dense)
+		w := d.NormalizedWeights()
+		var worst float64
+		for r := 0; r < spec.Out; r++ {
+			var s float64
+			for c := 0; c < spec.In; c++ {
+				s += math.Abs(w[r*spec.In+c] * x[c])
+			}
+			worst = math.Max(worst, s)
+		}
+		return worst
+	case "bcm":
+		b := layer.(*nn.BCMDense)
+		bound := bcmPartialBound(b, x)
+		if b.CosNorm {
+			// The runtime computes with folded weights (gain included)
+			// and scaled inputs; the bound is linear in both.
+			bound *= b.CosNormFactor(x)
+		}
+		return bound
+	}
+	return 0
+}
+
+// inputScaleFloat mirrors the runtime's 1/max(‖x‖, 1) factor for
+// bound computation.
+func inputScaleFloat(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	if n := math.Sqrt(s); n > 1 {
+		return 1 / n
+	}
+	return 1
+}
+
+func convPartialBound(conv *nn.Conv2D, spec nn.LayerSpec, w, x []float64) float64 {
+	oh := spec.InH - spec.KH + 1
+	ow := spec.InW - spec.KW + 1
+	var worst float64
+	for oc := 0; oc < spec.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float64
+				for ic := 0; ic < spec.InC; ic++ {
+					for ky := 0; ky < spec.KH; ky++ {
+						for kx := 0; kx < spec.KW; kx++ {
+							wi := ((oc*spec.InC+ic)*spec.KH + ky) * spec.KW
+							s += math.Abs(w[wi+kx] * x[ic*spec.InH*spec.InW+(oy+ky)*spec.InW+ox+kx])
+						}
+					}
+				}
+				worst = math.Max(worst, s)
+			}
+		}
+	}
+	return worst
+}
+
+// bcmPartialBound bounds the FFT path's Q15 block accumulation: the
+// running sum over blocks j of conv_ij[d] is bounded element-wise by
+// Σ_j |conv_ij[d]|.
+func bcmPartialBound(b *nn.BCMDense, x []float64) float64 {
+	bcm := b.BCM()
+	xp := make([]float64, bcm.Q*bcm.K)
+	copy(xp, x)
+	var worst float64
+	sum := make([]float64, bcm.K)
+	for i := 0; i < bcm.P; i++ {
+		for d := range sum {
+			sum[d] = 0
+		}
+		for j := 0; j < bcm.Q; j++ {
+			conv := circulant.CircConv(bcm.Blocks[i][j], xp[j*bcm.K:(j+1)*bcm.K])
+			for d, v := range conv {
+				sum[d] += math.Abs(v)
+			}
+		}
+		for _, v := range sum {
+			worst = math.Max(worst, v)
+		}
+	}
+	return worst
+}
+
+// bcmSpectrumBound bounds the FFT product spectrum of every block:
+// |FFT(w)/K ∘ FFT(x)/K|∞ ≤ (Σ|w|/K)·(Σ|x|/K), with the cosine
+// normalization factors applied when the layer uses them. The bound is
+// in "true input, unscaled weight" units; Quantize folds WShift and
+// sIn in afterwards.
+func bcmSpectrumBound(b *nn.BCMDense, x []float64) float64 {
+	bcm := b.BCM()
+	k := float64(bcm.K)
+	norm := 1.0
+	if b.CosNorm {
+		norm = b.CosNormFactor(x)
+	}
+	// Per block column: Σ|x_j|.
+	xs := make([]float64, bcm.Q)
+	for j := 0; j < bcm.Q; j++ {
+		lo := j * bcm.K
+		hi := lo + bcm.K
+		if hi > len(x) {
+			hi = len(x)
+		}
+		for c := lo; c < hi; c++ {
+			xs[j] += math.Abs(x[c])
+		}
+	}
+	var worst float64
+	for i := 0; i < bcm.P; i++ {
+		for j := 0; j < bcm.Q; j++ {
+			var ws float64
+			for _, v := range bcm.Blocks[i][j] {
+				ws += math.Abs(v)
+			}
+			worst = math.Max(worst, (ws/k)*(xs[j]/k)*norm)
+		}
+	}
+	return worst
+}
+
+// bcmRunningBound computes the maximum |running partial sum| of the
+// time-domain MAC stream in exactly the order the baseline engines
+// accumulate (blocks j ascending, columns c ascending) — the tight
+// bound for their Q31 accumulators.
+func bcmRunningBound(b *nn.BCMDense, x []float64) float64 {
+	bcm := b.BCM()
+	k := bcm.K
+	norm := 1.0
+	if b.CosNorm {
+		norm = b.CosNormFactor(x)
+	}
+	var worst float64
+	for r := 0; r < b.Out; r++ {
+		i := r / k
+		rk := r % k
+		var acc float64
+		for j := 0; j < bcm.Q; j++ {
+			w := bcm.Blocks[i][j]
+			lim := b.In - j*k
+			if lim > k {
+				lim = k
+			}
+			for c := 0; c < lim; c++ {
+				acc += w[(rk-c+k)%k] * x[j*k+c]
+				worst = math.Max(worst, math.Abs(acc)*norm)
+			}
+		}
+	}
+	return worst
+}
+
+// chooseShift picks the signed power-of-two weight pre-scaling
+// maximizing precision subject to (a) quantized weights fitting Q15
+// with a little headroom and (b) the accumulation bound staying under
+// limit: bound·2^shift ≤ limit.
+func chooseShift(w []float64, bound, limit float64) int {
+	var maxW float64
+	for _, v := range w {
+		if a := math.Abs(v); a > maxW {
+			maxW = a
+		}
+	}
+	shift := 0
+	// Push up while both constraints allow.
+	for shift < 14 &&
+		maxW*pow2(shift+1) < 0.97 &&
+		(bound <= 0 || bound*pow2(shift+1) <= limit) {
+		shift++
+	}
+	// Push down if either constraint is already violated at 0.
+	for shift > -14 &&
+		(maxW*pow2(shift) >= 1.0 || (bound > 0 && bound*pow2(shift) > limit)) {
+		shift--
+	}
+	return shift
+}
+
+func pow2(n int) float64 { return math.Ldexp(1, n) }
+
+func quantizeScaled(w []float64, shift int) []fixed.Q15 {
+	out := make([]fixed.Q15, len(w))
+	s := pow2(shift)
+	for i, v := range w {
+		out[i] = fixed.FromFloat(v * s)
+	}
+	return out
+}
+
+func effectiveConvWeights(conv *nn.Conv2D) []float64 {
+	w := make([]float64, len(conv.W.Data))
+	copy(w, conv.W.Data)
+	if conv.Mask != nil {
+		for i, m := range conv.Mask {
+			w[i] *= m
+		}
+	}
+	return w
+}
+
+func keptPositions(mask []float64, positions int) []int {
+	var kept []int
+	for p := 0; p < positions; p++ {
+		if mask[p] != 0 {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}

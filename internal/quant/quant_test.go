@@ -1,0 +1,294 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ehdl/internal/circulant"
+	"ehdl/internal/dataset"
+	"ehdl/internal/fixed"
+	"ehdl/internal/nn"
+	"ehdl/internal/train"
+)
+
+// trainSmall trains a small model on a small synthetic task and
+// returns everything the quantizer needs.
+func trainSmall(t *testing.T) (*nn.Network, *nn.Arch, *dataset.Set) {
+	t.Helper()
+	set := dataset.MNIST(800, 120, 7)
+	arch := &nn.Arch{
+		Name: "mini-mnist", InShape: [3]int{1, 28, 28}, NumClasses: 10,
+		Specs: []nn.LayerSpec{
+			{Kind: "conv", InC: 1, InH: 28, InW: 28, OutC: 4, KH: 5, KW: 5},
+			{Kind: "pool", InC: 4, InH: 24, InW: 24, PoolSize: 2},
+			{Kind: "relu", N: 4 * 12 * 12},
+			{Kind: "flatten", N: 576},
+			{Kind: "bcm", In: 576, Out: 64, K: 32},
+			{Kind: "relu", N: 64},
+			{Kind: "dense", In: 64, Out: 10, WeightNorm: true},
+		},
+	}
+	net := arch.Build(rand.New(rand.NewSource(3)))
+	cfg := train.DefaultConfig()
+	res := train.Run(net, set, cfg)
+	if res.TestAccuracy < 0.9 {
+		t.Fatalf("float training too weak for quantization test: %v", res.TestAccuracy)
+	}
+	return net, arch, set
+}
+
+func calibInputs(set *dataset.Set, n int) [][]float64 {
+	var xs [][]float64
+	for i := 0; i < n && i < len(set.Train); i++ {
+		xs = append(xs, set.Train[i].Input)
+	}
+	return xs
+}
+
+func TestQuantizedAccuracyNearFloat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in short mode")
+	}
+	net, arch, set := trainSmall(t)
+	floatAcc := set.Accuracy(net.Predict)
+	qm, err := Quantize(net, arch, calibInputs(set, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor(qm)
+	qAcc := set.Accuracy(exec.Predict)
+	t.Logf("float acc=%.3f quantized acc=%.3f", floatAcc, qAcc)
+	if qAcc < floatAcc-0.05 {
+		t.Errorf("quantization lost too much: float %.3f, fixed %.3f", floatAcc, qAcc)
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	net, arch, set := func() (*nn.Network, *nn.Arch, *dataset.Set) {
+		arch := &nn.Arch{Name: "d", InShape: [3]int{1, 1, 4}, NumClasses: 2,
+			Specs: []nn.LayerSpec{{Kind: "dense", In: 4, Out: 2}}}
+		return arch.Build(rand.New(rand.NewSource(1))), arch, nil
+	}()
+	_ = set
+	if _, err := Quantize(net, arch, nil); err == nil {
+		t.Error("expected error for empty calibration")
+	}
+	badArch := &nn.Arch{Name: "d", InShape: [3]int{1, 1, 4},
+		Specs: []nn.LayerSpec{{Kind: "dense", In: 4, Out: 2}, {Kind: "relu", N: 2}}}
+	if _, err := Quantize(net, badArch, [][]float64{{0, 0, 0, 0}}); err == nil {
+		t.Error("expected error for mismatched layer counts")
+	}
+}
+
+func TestDenseLayerSemantics(t *testing.T) {
+	// Hand-built 2x2 dense layer: W = [[0.5, -0.25], [0.125, 0.5]],
+	// b = [0.1, -0.1], no scaling (SIn=SOut=0, WShift=1).
+	l := &QLayer{
+		Spec:   nn.LayerSpec{Kind: "dense", In: 2, Out: 2},
+		W:      fixed.FromFloats([]float64{1.0, -0.5, 0.25, 1.0}), // w·2^1
+		B:      fixed.FromFloats([]float64{0.1, -0.1}),
+		WShift: 1,
+	}
+	x := fixed.FromFloats([]float64{0.5, 0.5})
+	out := DenseLayer(l, x)
+	want := []float64{0.5*0.5 - 0.25*0.5 + 0.1, 0.125*0.5 + 0.5*0.5 - 0.1}
+	for i := range want {
+		if math.Abs(out[i].Float()-want[i]) > 1e-3 {
+			t.Errorf("out[%d] = %v, want %v", i, out[i].Float(), want[i])
+		}
+	}
+}
+
+func TestDenseLayerOutputScaling(t *testing.T) {
+	// SOut=1 halves the stored activation: y_true = 1.2 stores as 0.6.
+	l := &QLayer{
+		Spec:   nn.LayerSpec{Kind: "dense", In: 1, Out: 1},
+		W:      fixed.FromFloats([]float64{0.75}),
+		B:      []fixed.Q15{0},
+		WShift: 0,
+		SOut:   1,
+	}
+	x := fixed.FromFloats([]float64{0.8}) // y = 0.6, stored 0.3
+	out := DenseLayer(l, x)
+	if math.Abs(out[0].Float()-0.3) > 1e-3 {
+		t.Errorf("scaled output = %v, want 0.3", out[0].Float())
+	}
+}
+
+func TestConvLayerMatchesFloatConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := nn.NewConv2D(2, 5, 5, 3, 3, 3, rng)
+	x := make([]float64, 2*5*5)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	want := conv.Forward(x)
+
+	spec := nn.LayerSpec{Kind: "conv", InC: 2, InH: 5, InW: 5, OutC: 3, KH: 3, KW: 3}
+	arch := &nn.Arch{Name: "c", InShape: [3]int{2, 5, 5}, Specs: []nn.LayerSpec{spec}}
+	net := nn.NewNetwork("c", 50, conv)
+	qm, err := Quantize(net, arch, [][]float64{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ConvLayer(&qm.Layers[0], fixed.FromFloats(x))
+	scale := math.Ldexp(1, qm.Layers[0].SOut)
+	for i := range want {
+		got := out[i].Float() * scale
+		if math.Abs(got-want[i]) > 0.02*scale {
+			t.Fatalf("conv[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestPrunedConvSkipsMaskedPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	conv := nn.NewConv2D(1, 4, 4, 2, 3, 3, rng)
+	mask := make([]float64, len(conv.W.Data))
+	// Keep positions 0, 4, 8 (diagonal of the 3x3 kernel).
+	for oc := 0; oc < 2; oc++ {
+		for _, p := range []int{0, 4, 8} {
+			mask[oc*9+p] = 1
+		}
+	}
+	conv.ApplyMask(mask)
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	want := conv.Forward(x)
+
+	spec := nn.LayerSpec{Kind: "conv", InC: 1, InH: 4, InW: 4, OutC: 2, KH: 3, KW: 3, PruneRatio: 0.67}
+	arch := &nn.Arch{Name: "p", InShape: [3]int{1, 4, 4}, Specs: []nn.LayerSpec{spec}}
+	net := nn.NewNetwork("p", 16, conv)
+	qm, err := Quantize(net, arch, [][]float64{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ql := &qm.Layers[0]
+	if len(ql.Kept) != 3 {
+		t.Fatalf("kept = %v, want 3 positions", ql.Kept)
+	}
+	out := ConvLayer(ql, fixed.FromFloats(x))
+	scale := math.Ldexp(1, ql.SOut)
+	for i := range want {
+		if math.Abs(out[i].Float()*scale-want[i]) > 0.02*scale {
+			t.Fatalf("pruned conv[%d] = %v, want %v", i, out[i].Float()*scale, want[i])
+		}
+	}
+}
+
+func TestBCMLayerMatchesFloatBCM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bcm := nn.NewBCMDense(16, 12, 8, false, rng) // padded out-dim
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	want := bcm.Forward(x)
+
+	spec := nn.LayerSpec{Kind: "bcm", In: 16, Out: 12, K: 8}
+	arch := &nn.Arch{Name: "b", InShape: [3]int{1, 1, 16}, Specs: []nn.LayerSpec{spec}}
+	net := nn.NewNetwork("b", 16, bcm)
+	qm, err := Quantize(net, arch, [][]float64{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := BCMLayer(&qm.Layers[0], fixed.FromFloats(x), circulant.NewAlg1Scratch(8))
+	scale := math.Ldexp(1, qm.Layers[0].SOut)
+	for i := range want {
+		if math.Abs(out[i].Float()*scale-want[i]) > 0.03*scale {
+			t.Fatalf("bcm[%d] = %v, want %v", i, out[i].Float()*scale, want[i])
+		}
+	}
+}
+
+func TestPoolAndReLULayers(t *testing.T) {
+	pl := &QLayer{Spec: nn.LayerSpec{Kind: "pool", InC: 1, InH: 2, InW: 2, PoolSize: 2}}
+	out := PoolLayer(pl, fixed.FromFloats([]float64{0.1, 0.9, -0.5, 0.3}))
+	if math.Abs(out[0].Float()-0.9) > 1e-3 {
+		t.Errorf("pool = %v", out[0].Float())
+	}
+	rl := &QLayer{Spec: nn.LayerSpec{Kind: "relu", N: 3}}
+	ro := ReLULayer(rl, fixed.FromFloats([]float64{-0.5, 0.25, 0}))
+	if ro[0] != 0 || math.Abs(ro[1].Float()-0.25) > 1e-3 || ro[2] != 0 {
+		t.Errorf("relu = %v", ro)
+	}
+}
+
+func TestExecutorFullForward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in short mode")
+	}
+	net, arch, set := trainSmall(t)
+	qm, err := Quantize(net, arch, calibInputs(set, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor(qm)
+	logits := exec.Forward(fixed.FromFloats(set.Test[0].Input))
+	if len(logits) != 10 {
+		t.Fatalf("logits length %d", len(logits))
+	}
+	// Same input twice gives identical output (deterministic).
+	logits2 := exec.Forward(fixed.FromFloats(set.Test[0].Input))
+	for i := range logits {
+		if logits[i] != logits2[i] {
+			t.Fatal("executor not deterministic")
+		}
+	}
+}
+
+func TestModelAccounting(t *testing.T) {
+	m := &Model{
+		InShape: [3]int{1, 4, 4},
+		Layers: []QLayer{
+			{Spec: nn.LayerSpec{Kind: "conv", InC: 1, InH: 4, InW: 4, OutC: 2, KH: 3, KW: 3},
+				W: make([]fixed.Q15, 18), B: make([]fixed.Q15, 2)},
+			{Spec: nn.LayerSpec{Kind: "relu", N: 8}},
+			{Spec: nn.LayerSpec{Kind: "dense", In: 8, Out: 4},
+				W: make([]fixed.Q15, 32), B: make([]fixed.Q15, 4)},
+		},
+	}
+	// conv 18+2 params, dense 32+4: 56 params = 112 bytes.
+	if got := m.WeightBytes(); got != 112 {
+		t.Errorf("WeightBytes = %d, want 112", got)
+	}
+	// activations: input 16, conv out 2*2*2=8, relu 8, dense 4 -> 16.
+	if got := m.MaxActivationLen(); got != 16 {
+		t.Errorf("MaxActivationLen = %d, want 16", got)
+	}
+	// Pruned conv stores only kept positions.
+	m.Layers[0].Kept = []int{0, 1, 2}
+	if got := m.WeightBytes(); got != 2*(2*3+2)+2*(32+4) {
+		t.Errorf("pruned WeightBytes = %d", got)
+	}
+}
+
+func TestChooseShift(t *testing.T) {
+	// Small weights, small bound: shift up for precision.
+	if s := chooseShift([]float64{0.01, -0.02}, 0.1, 0.9); s < 3 {
+		t.Errorf("shift = %d, want >= 3", s)
+	}
+	// Large weights need negative shift.
+	if s := chooseShift([]float64{3.0}, 0, 0.9); s > -2 {
+		t.Errorf("shift = %d, want <= -2", s)
+	}
+	// Accumulator bound caps the shift even for small weights.
+	sBound := chooseShift([]float64{0.01}, 0.8, 0.9)
+	sFree := chooseShift([]float64{0.01}, 0.0, 0.9)
+	if sBound >= sFree {
+		t.Errorf("bound did not cap shift: bound %d, free %d", sBound, sFree)
+	}
+}
+
+func TestAccShiftAndBCMShift(t *testing.T) {
+	l := &QLayer{Spec: nn.LayerSpec{Kind: "bcm", K: 128}, WShift: 3, SIn: 1, SOut: 2}
+	if got := l.AccShift(); got != 3+2-1 {
+		t.Errorf("AccShift = %d", got)
+	}
+	if got := l.BCMShift(); got != 3+2-1-7 {
+		t.Errorf("BCMShift = %d", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package rad implements RAD, the paper's resource-aware DNN training
+// framework (§III-A): architecture search under the device's FRAM and
+// latency constraints, BCM compression of FC layers, ADMM-regularized
+// structured pruning of conv layers, normalization, and fixed-point
+// export. RAD runs offline on the host; its artifact is a quantized
+// model the on-device runtimes execute.
+package rad
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ehdl/internal/dataset"
+	"ehdl/internal/device"
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
+	"ehdl/internal/train"
+)
+
+// Constraints are the device resources a candidate must respect —
+// the "modeling challenges" list of §III-A.
+type Constraints struct {
+	// FRAMBytes bounds the model image (weights + biases at 16 bit).
+	// Zero means the MSP430FR5994 default of 224 KB (256 KB minus the
+	// runtime's activation buffers and checkpoint areas).
+	FRAMBytes int
+	// MaxCycles bounds the estimated ACE inference latency
+	// (zero = unbounded).
+	MaxCycles uint64
+	// MinAccuracy is the test accuracy a trained candidate must reach
+	// to be accepted.
+	MinAccuracy float64
+}
+
+// DefaultConstraints returns the paper's device envelope.
+func DefaultConstraints() Constraints {
+	return Constraints{FRAMBytes: 224 * 1024, MinAccuracy: 0.80}
+}
+
+// PipelineConfig drives the full RAD pipeline.
+type PipelineConfig struct {
+	Train train.Config
+	ADMM  train.ADMMConfig
+	// CalibSamples is the number of training inputs used for
+	// quantization calibration.
+	CalibSamples int
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// DefaultPipelineConfig returns the settings used for Table II.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Train:        train.DefaultConfig(),
+		ADMM:         train.DefaultADMMConfig(),
+		CalibSamples: 48,
+		Seed:         1,
+	}
+}
+
+// CandidateReport records the search's view of one architecture.
+type CandidateReport struct {
+	Name        string
+	ParamBytes  int
+	EstCycles   uint64
+	FitsFRAM    bool
+	FitsLatency bool
+	Selected    bool
+}
+
+// Result is the RAD artifact.
+type Result struct {
+	Arch          *nn.Arch
+	Net           *nn.Network
+	Model         *quant.Model
+	FloatAccuracy float64
+	QuantAccuracy float64
+	Prune         []train.PruneResult
+	EstCycles     uint64
+	Search        []CandidateReport
+}
+
+// ParamBytes returns the 16-bit storage footprint of an architecture's
+// parameters (post-pruning for conv layers with a prune ratio).
+func ParamBytes(a *nn.Arch) int {
+	total := 0
+	for _, s := range a.Specs {
+		switch s.Kind {
+		case "conv":
+			positions := s.InC * s.KH * s.KW
+			kept := positions
+			if s.PruneRatio > 0 {
+				kept = int(float64(positions) * (1 - s.PruneRatio))
+			}
+			total += s.OutC*kept + s.OutC
+		case "dense":
+			total += s.In*s.Out + s.Out
+		case "bcm":
+			p := (s.Out + s.K - 1) / s.K
+			q := (s.In + s.K - 1) / s.K
+			total += p*q*s.K + s.Out
+		}
+	}
+	return 2 * total
+}
+
+// EstimateCycles approximates the ACE inference latency of an
+// architecture under the given cost table. It mirrors ACE's dataflow
+// (weight staging, window gathers, LEA vector ops) closely enough to
+// rank candidates; the true number comes from running the simulator.
+func EstimateCycles(a *nn.Arch, c device.Costs) uint64 {
+	var cy uint64
+	for _, s := range a.Specs {
+		switch s.Kind {
+		case "conv":
+			oh := uint64(s.InH - s.KH + 1)
+			ow := uint64(s.InW - s.KW + 1)
+			positions := s.InC * s.KH * s.KW
+			kept := positions
+			if s.PruneRatio > 0 {
+				kept = int(float64(positions) * (1 - s.PruneRatio))
+			}
+			rows := uint64(s.InC * s.KH) // DMA row segments per window
+			perPixel := rows*(c.DMASetupCycles+uint64(s.KW)*c.DMAWordCycles) +
+				uint64(s.OutC)*(c.LEASetupCycles+uint64(kept)*c.LEAMACCyclesPerElem) +
+				uint64(s.OutC)*c.FRAMWriteWordCycles
+			cy += oh * ow * perPixel
+		case "pool":
+			n := uint64(quant.LayerOutLen(s))
+			cy += n * (uint64(s.PoolSize*s.PoolSize)*(c.FRAMReadWordCycles+c.CPUOpCycles) + c.FRAMWriteWordCycles)
+		case "relu":
+			cy += uint64(s.N) * (c.FRAMReadWordCycles + 2*c.CPUOpCycles + c.FRAMWriteWordCycles)
+		case "dense":
+			cy += uint64(s.Out) * (c.DMASetupCycles + uint64(s.In)*c.DMAWordCycles +
+				c.LEASetupCycles + uint64(s.In)*c.LEAMACCyclesPerElem)
+		case "bcm":
+			k := uint64(s.K)
+			p := uint64((s.Out + s.K - 1) / s.K)
+			q := uint64((s.In + s.K - 1) / s.K)
+			log2 := uint64(0)
+			for v := s.K; v > 1; v >>= 1 {
+				log2++
+			}
+			fft := c.LEASetupCycles + (k/2)*log2*c.LEAFFTButterflyCycles
+			perBlock := 2*(c.DMASetupCycles+k*c.DMAWordCycles) + // x, w staging
+				3*fft + // FFT, FFT, IFFT
+				(c.LEASetupCycles + k*c.LEACMulCyclesPerElem) + // MPY
+				(c.LEASetupCycles + k*c.LEAAddCyclesPerElem) + // ACC
+				3*k*c.CPUOpCycles // packing/extraction
+			cy += p * (q*perBlock + k*c.FRAMWriteWordCycles)
+		}
+	}
+	return cy
+}
+
+// Search filters and ranks candidate architectures against the
+// constraints (smallest estimated latency first). It returns the
+// ranked survivors and a report over all candidates.
+func Search(candidates []*nn.Arch, cons Constraints, costs device.Costs) ([]*nn.Arch, []CandidateReport) {
+	if cons.FRAMBytes == 0 {
+		cons.FRAMBytes = DefaultConstraints().FRAMBytes
+	}
+	type scored struct {
+		arch *nn.Arch
+		est  uint64
+	}
+	var ok []scored
+	reports := make([]CandidateReport, 0, len(candidates))
+	for _, a := range candidates {
+		bytes := ParamBytes(a)
+		est := EstimateCycles(a, costs)
+		r := CandidateReport{
+			Name:        a.Name,
+			ParamBytes:  bytes,
+			EstCycles:   est,
+			FitsFRAM:    bytes <= cons.FRAMBytes,
+			FitsLatency: cons.MaxCycles == 0 || est <= cons.MaxCycles,
+		}
+		reports = append(reports, r)
+		if r.FitsFRAM && r.FitsLatency {
+			ok = append(ok, scored{a, est})
+		}
+	}
+	sort.SliceStable(ok, func(i, j int) bool { return ok[i].est < ok[j].est })
+	ranked := make([]*nn.Arch, len(ok))
+	for i, s := range ok {
+		ranked[i] = s.arch
+	}
+	for i := range reports {
+		if len(ranked) > 0 && reports[i].Name == ranked[0].Name {
+			reports[i].Selected = true
+		}
+	}
+	return ranked, reports
+}
+
+// Train runs the full RAD pipeline on one architecture: train, prune
+// (when the arch asks for it), calibrate, quantize.
+func Train(arch *nn.Arch, set *dataset.Set, cfg PipelineConfig) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := arch.Build(rng)
+	res := train.Run(net, set, cfg.Train)
+
+	var pruneResults []train.PruneResult
+	for _, s := range arch.Specs {
+		if s.Kind == "conv" && s.PruneRatio > 0 {
+			pruneResults = train.PruneConvADMM(net, arch, set, cfg.ADMM)
+			break
+		}
+	}
+
+	nCalib := cfg.CalibSamples
+	if nCalib <= 0 {
+		nCalib = 48
+	}
+	if nCalib > len(set.Train) {
+		nCalib = len(set.Train)
+	}
+	calib := make([][]float64, nCalib)
+	for i := 0; i < nCalib; i++ {
+		calib[i] = set.Train[i].Input
+	}
+	m, err := quant.Quantize(net, arch, calib)
+	if err != nil {
+		return nil, fmt.Errorf("rad: quantize: %w", err)
+	}
+
+	exe := quant.NewExecutor(m)
+	out := &Result{
+		Arch:          arch,
+		Net:           net,
+		Model:         m,
+		FloatAccuracy: set.Accuracy(net.Predict),
+		QuantAccuracy: set.Accuracy(exe.Predict),
+		Prune:         pruneResults,
+		EstCycles:     EstimateCycles(arch, device.DefaultCosts()),
+	}
+	_ = res
+	return out, nil
+}
+
+// SearchAndTrain runs Search then trains ranked candidates until one
+// meets the accuracy constraint.
+func SearchAndTrain(candidates []*nn.Arch, set *dataset.Set, cons Constraints, cfg PipelineConfig) (*Result, error) {
+	ranked, reports := Search(candidates, cons, device.DefaultCosts())
+	if len(ranked) == 0 {
+		return nil, fmt.Errorf("rad: no candidate fits the constraints (%d examined)", len(candidates))
+	}
+	var last *Result
+	for _, a := range ranked {
+		r, err := Train(a, set, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.Search = reports
+		last = r
+		if r.QuantAccuracy >= cons.MinAccuracy {
+			return r, nil
+		}
+	}
+	return last, fmt.Errorf("rad: no candidate reached accuracy %.2f (best %.2f)",
+		cons.MinAccuracy, last.QuantAccuracy)
+}

@@ -1,0 +1,153 @@
+package rad
+
+import (
+	"math/rand"
+	"testing"
+
+	"ehdl/internal/dataset"
+	"ehdl/internal/device"
+	"ehdl/internal/nn"
+)
+
+func TestParamBytes(t *testing.T) {
+	// MNIST compressed: conv1 6·25+6, conv2 16·75+16 (2x pruned),
+	// bcm 2·2·128+256, dense 256·10+10.
+	arch := nn.MNISTArch(128, true)
+	want := 2 * ((6*25 + 6) + (16*75 + 16) + (2*2*128 + 256) + (256*10 + 10))
+	if got := ParamBytes(arch); got != want {
+		t.Errorf("ParamBytes(mnist) = %d, want %d", got, want)
+	}
+	// The dense HAR model must exceed the FRAM budget; the compressed
+	// one must fit — the whole reason BCM exists.
+	if got := ParamBytes(nn.HARDenseArch()); got <= 256*1024 {
+		t.Errorf("dense HAR = %d bytes, expected to overflow 256 KB", got)
+	}
+	if got := ParamBytes(nn.HARArch(128, 64)); got >= 224*1024 {
+		t.Errorf("compressed HAR = %d bytes, expected to fit", got)
+	}
+}
+
+func TestEstimateCyclesOrdering(t *testing.T) {
+	costs := device.DefaultCosts()
+	small := EstimateCycles(nn.MNISTArch(128, true), costs)
+	large := EstimateCycles(nn.OKGArch(256, 128, 64), costs)
+	if small == 0 || large == 0 {
+		t.Fatal("zero estimates")
+	}
+	// Larger BCM blocks are faster per the FFT math: block 128 beats
+	// block 32 on the same layer shapes.
+	k32 := EstimateCycles(nn.MNISTArch(32, true), costs)
+	k128 := EstimateCycles(nn.MNISTArch(128, true), costs)
+	if k128 >= k32 {
+		t.Errorf("block 128 estimate %d not below block 32 estimate %d", k128, k32)
+	}
+}
+
+func TestSearchFiltersAndRanks(t *testing.T) {
+	candidates := []*nn.Arch{
+		nn.HARDenseArch(),   // too big for FRAM
+		nn.HARArch(128, 64), // fits, fast
+		nn.HARArch(32, 32),  // fits, slower (smaller blocks)
+	}
+	ranked, reports := Search(candidates, DefaultConstraints(), device.DefaultCosts())
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].FitsFRAM {
+		t.Error("dense HAR reported as fitting FRAM")
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %d, want 2", len(ranked))
+	}
+	if ranked[0].Name != "har" {
+		t.Errorf("best candidate %q, want the block-128 model", ranked[0].Name)
+	}
+	found := false
+	for _, r := range reports {
+		if r.Selected {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no candidate marked selected")
+	}
+}
+
+func TestSearchNoSurvivors(t *testing.T) {
+	_, err := SearchAndTrain([]*nn.Arch{nn.HARDenseArch()}, nil, DefaultConstraints(), DefaultPipelineConfig())
+	if err == nil {
+		t.Fatal("expected error when nothing fits")
+	}
+}
+
+func TestTrainPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	set := dataset.MNIST(800, 120, 7)
+	// Like the paper's MNIST model: prune the SECOND conv (pruning the
+	// input conv of a tiny net destroys it, which is exactly why the
+	// paper leaves conv1 dense).
+	arch := &nn.Arch{
+		Name: "mini", InShape: [3]int{1, 28, 28}, NumClasses: 10,
+		Specs: []nn.LayerSpec{
+			{Kind: "conv", InC: 1, InH: 28, InW: 28, OutC: 4, KH: 5, KW: 5},
+			{Kind: "pool", InC: 4, InH: 24, InW: 24, PoolSize: 2},
+			{Kind: "relu", N: 4 * 12 * 12},
+			{Kind: "conv", InC: 4, InH: 12, InW: 12, OutC: 8, KH: 3, KW: 3, PruneRatio: 0.5},
+			{Kind: "pool", InC: 8, InH: 10, InW: 10, PoolSize: 2},
+			{Kind: "relu", N: 8 * 5 * 5},
+			{Kind: "flatten", N: 200},
+			{Kind: "bcm", In: 200, Out: 64, K: 32},
+			{Kind: "relu", N: 64},
+			{Kind: "dense", In: 64, Out: 10, WeightNorm: true},
+		},
+	}
+	cfg := DefaultPipelineConfig()
+	cfg.Seed = 3
+	cfg.ADMM.Rounds = 1
+	cfg.ADMM.Train.Epochs = 1
+	res, err := Train(arch, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuantAccuracy < 0.8 {
+		t.Errorf("quantized accuracy %.2f too low (float %.2f, prune %+v)",
+			res.QuantAccuracy, res.FloatAccuracy, res.Prune)
+	}
+	if len(res.Prune) != 1 {
+		t.Errorf("prune results = %d, want 1", len(res.Prune))
+	}
+	if res.Model.WeightBytes() >= 224*1024 {
+		t.Errorf("model too big: %d", res.Model.WeightBytes())
+	}
+	if res.EstCycles == 0 {
+		t.Error("no cycle estimate")
+	}
+	// The quantized model honors the pruning in its storage.
+	if res.Model.Layers[3].Kept == nil {
+		t.Error("pruned conv lost its kept-position list through quantization")
+	}
+}
+
+func TestSearchAndTrainPicksAccurateCandidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	set := dataset.HAR(700, 140, 5)
+	candidates := []*nn.Arch{nn.HARArch(128, 64)}
+	cfg := DefaultPipelineConfig()
+	cons := DefaultConstraints()
+	cons.MinAccuracy = 0.8
+	res, err := SearchAndTrain(candidates, set, cons, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuantAccuracy < 0.8 {
+		t.Errorf("accuracy %.2f", res.QuantAccuracy)
+	}
+	if len(res.Search) != 1 {
+		t.Errorf("search log %d entries", len(res.Search))
+	}
+	_ = rand.Int
+}

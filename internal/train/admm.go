@@ -1,0 +1,208 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ehdl/internal/dataset"
+	"ehdl/internal/nn"
+)
+
+// ADMM-regularized structured pruning (§III-A, following ADMM-NN).
+//
+// The pruning constraint used here is shape-wise structured sparsity:
+// the same (input-channel, ky, kx) kernel positions are removed from
+// every filter of a conv layer, so the pruned weight tensor keeps a
+// regular dense sub-shape — the property that makes structured pruning
+// "hardware friendly" (no index arrays, vector ops stay contiguous)
+// while leaving the layer's output geometry unchanged.
+//
+// The optimization alternates:
+//
+//	W-step: SGD on loss + (ρ/2)·‖W − Z + U‖²
+//	Z-step: Z = Π(W + U)  (projection: keep the top-(1−r) kernel
+//	        positions by L2 norm across filters)
+//	U-step: U += W − Z
+//
+// followed by hard masking and a retraining pass with the mask
+// enforced.
+
+// ADMMConfig controls the pruning run.
+type ADMMConfig struct {
+	// Rho is the augmented-Lagrangian penalty weight.
+	Rho float64
+	// Rounds is the number of Z/U updates.
+	Rounds int
+	// EpochsPerRound is SGD epochs between dual updates.
+	EpochsPerRound int
+	// RetrainEpochs is the masked fine-tuning length after hard
+	// pruning.
+	RetrainEpochs int
+	// Train carries the SGD hyperparameters.
+	Train Config
+}
+
+// DefaultADMMConfig returns the schedule used for the paper's models.
+func DefaultADMMConfig() ADMMConfig {
+	return ADMMConfig{
+		Rho:            1e-2,
+		Rounds:         3,
+		EpochsPerRound: 1,
+		RetrainEpochs:  2,
+		Train:          DefaultConfig(),
+	}
+}
+
+// PruneResult reports what pruning did to one conv layer.
+type PruneResult struct {
+	LayerIndex    int
+	KeptPositions int
+	TotalPosition int
+	// Compression is total/kept (the paper's "2x").
+	Compression  float64
+	TestAccuracy float64
+}
+
+// ShapeMask builds a 0/1 mask for a conv weight tensor keeping the
+// keep highest-L2 kernel positions (aggregated across output filters).
+// Layout matches nn.Conv2D: [oc][ic][ky][kx].
+func ShapeMask(w []float64, outC, inC, kh, kw, keep int) []float64 {
+	positions := inC * kh * kw
+	norms := make([]float64, positions)
+	for oc := 0; oc < outC; oc++ {
+		base := oc * positions
+		for p := 0; p < positions; p++ {
+			v := w[base+p]
+			norms[p] += v * v
+		}
+	}
+	idx := make([]int, positions)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return norms[idx[a]] > norms[idx[b]] })
+	mask := make([]float64, len(w))
+	for _, p := range idx[:keep] {
+		for oc := 0; oc < outC; oc++ {
+			mask[oc*positions+p] = 1
+		}
+	}
+	return mask
+}
+
+// projectShape returns the projection of w onto the shape-sparsity
+// constraint set (keep positions with the largest aggregate norm, zero
+// the rest).
+func projectShape(w []float64, outC, inC, kh, kw, keep int) []float64 {
+	mask := ShapeMask(w, outC, inC, kh, kw, keep)
+	z := make([]float64, len(w))
+	for i := range w {
+		z[i] = w[i] * mask[i]
+	}
+	return z
+}
+
+// PruneConvADMM prunes every conv layer of net whose Arch spec asks
+// for pruning (PruneRatio > 0), using the ADMM schedule, then hard
+// masks and retrains. It returns one result per pruned layer.
+func PruneConvADMM(net *nn.Network, arch *nn.Arch, set *dataset.Set, cfg ADMMConfig) []PruneResult {
+	type target struct {
+		layer *nn.Conv2D
+		spec  nn.LayerSpec
+		keep  int
+		z, u  []float64
+	}
+	var targets []target
+	li := 0
+	for _, spec := range arch.Specs {
+		l := net.Layers[li]
+		li++
+		if spec.Kind != "conv" || spec.PruneRatio <= 0 {
+			continue
+		}
+		conv := l.(*nn.Conv2D)
+		positions := spec.InC * spec.KH * spec.KW
+		keep := int(math.Round(float64(positions) * (1 - spec.PruneRatio)))
+		if keep < 1 {
+			keep = 1
+		}
+		targets = append(targets, target{
+			layer: conv, spec: spec, keep: keep,
+			z: projectShape(conv.W.Data, spec.OutC, spec.InC, spec.KH, spec.KW, keep),
+			u: make([]float64, len(conv.W.Data)),
+		})
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Train.Seed + 17))
+	opt := NewSGD(cfg.Train.LR, cfg.Train.Momentum, cfg.Train.WeightDecay)
+	opt.ClipNorm = cfg.Train.ClipNorm
+	params := net.Params()
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for e := 0; e < cfg.EpochsPerRound; e++ {
+			order := rng.Perm(len(set.Train))
+			if cfg.Train.MaxSamplesPerEpoch > 0 && len(order) > cfg.Train.MaxSamplesPerEpoch {
+				order = order[:cfg.Train.MaxSamplesPerEpoch]
+			}
+			for _, idx := range order {
+				s := set.Train[idx]
+				logits := net.Forward(s.Input)
+				_, grad := CrossEntropy(logits, s.Label)
+				net.Backward(grad)
+				// Augmented-Lagrangian term: ρ(W − Z + U).
+				for _, tg := range targets {
+					for i := range tg.layer.W.Data {
+						tg.layer.W.Grad[i] += cfg.Rho * (tg.layer.W.Data[i] - tg.z[i] + tg.u[i])
+					}
+				}
+				opt.Step(params)
+			}
+		}
+		// Z and U updates.
+		for ti := range targets {
+			tg := &targets[ti]
+			wu := make([]float64, len(tg.layer.W.Data))
+			for i := range wu {
+				wu[i] = tg.layer.W.Data[i] + tg.u[i]
+			}
+			tg.z = projectShape(wu, tg.spec.OutC, tg.spec.InC, tg.spec.KH, tg.spec.KW, tg.keep)
+			for i := range tg.u {
+				tg.u[i] += tg.layer.W.Data[i] - tg.z[i]
+			}
+		}
+	}
+
+	// Hard prune: install the mask implied by the final Z support.
+	for _, tg := range targets {
+		mask := make([]float64, len(tg.z))
+		for i, v := range tg.z {
+			if v != 0 {
+				mask[i] = 1
+			}
+		}
+		tg.layer.ApplyMask(mask)
+	}
+
+	// Masked retraining.
+	retrain := cfg.Train
+	retrain.Epochs = cfg.RetrainEpochs
+	retrain.Seed = cfg.Train.Seed + 29
+	res := Run(net, set, retrain)
+
+	out := make([]PruneResult, 0, len(targets))
+	for ti, tg := range targets {
+		positions := tg.spec.InC * tg.spec.KH * tg.spec.KW
+		out = append(out, PruneResult{
+			LayerIndex:    ti,
+			KeptPositions: tg.keep,
+			TotalPosition: positions,
+			Compression:   float64(positions) / float64(tg.keep),
+			TestAccuracy:  res.TestAccuracy,
+		})
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ehdl/internal/dataset"
+	"ehdl/internal/nn"
+)
+
+func TestCrossEntropyLossAndGrad(t *testing.T) {
+	logits := []float64{2, 1, 0}
+	loss, grad := CrossEntropy(logits, 0)
+	if loss <= 0 {
+		t.Errorf("loss = %v, want > 0", loss)
+	}
+	// Gradient sums to zero (softmax minus one-hot).
+	var sum float64
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("grad sum = %v", sum)
+	}
+	if grad[0] >= 0 {
+		t.Errorf("true-class grad = %v, want negative", grad[0])
+	}
+	// Perfect prediction gives near-zero loss.
+	loss2, _ := CrossEntropy([]float64{100, 0, 0}, 0)
+	if loss2 > 1e-6 {
+		t.Errorf("confident correct loss = %v", loss2)
+	}
+}
+
+func TestCrossEntropyNumericalGradient(t *testing.T) {
+	logits := []float64{0.3, -0.8, 1.2, 0.1}
+	label := 2
+	_, grad := CrossEntropy(logits, label)
+	const h = 1e-6
+	for i := range logits {
+		lp := append([]float64(nil), logits...)
+		lp[i] += h
+		lm := append([]float64(nil), logits...)
+		lm[i] -= h
+		fp, _ := CrossEntropy(lp, label)
+		fm, _ := CrossEntropy(lm, label)
+		num := (fp - fm) / (2 * h)
+		if math.Abs(num-grad[i]) > 1e-6 {
+			t.Errorf("grad[%d]: analytic %v, numeric %v", i, grad[i], num)
+		}
+	}
+}
+
+func TestSGDStepZeroesGrads(t *testing.T) {
+	p := nn.NewTensor("w", 3)
+	p.Data[0] = 1
+	p.Grad[0] = 0.5
+	opt := NewSGD(0.1, 0, 0)
+	opt.Step([]*nn.Tensor{p})
+	if math.Abs(p.Data[0]-0.95) > 1e-12 {
+		t.Errorf("data = %v, want 0.95", p.Data[0])
+	}
+	if p.Grad[0] != 0 {
+		t.Error("grad not zeroed")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := nn.NewTensor("w", 1)
+	opt := NewSGD(0.1, 0.9, 0)
+	for i := 0; i < 3; i++ {
+		p.Grad[0] = 1
+		opt.Step([]*nn.Tensor{p})
+	}
+	// Velocity: -0.1, -0.19, -0.271; cumulative -0.561.
+	if math.Abs(p.Data[0]-(-0.561)) > 1e-9 {
+		t.Errorf("data = %v, want -0.561", p.Data[0])
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := nn.NewTensor("w", 1)
+	p.Data[0] = 1
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*nn.Tensor{p}) // grad 0, decay pulls toward 0
+	if p.Data[0] >= 1 {
+		t.Errorf("weight decay had no effect: %v", p.Data[0])
+	}
+}
+
+// tinyTask builds a linearly separable 2-class task.
+func tinyTask(n int, seed int64) *dataset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	gen := func(label int) dataset.Sample {
+		x := make([]float64, 8)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 0.2
+		}
+		if label == 0 {
+			x[0] += 0.8
+		} else {
+			x[1] += 0.8
+		}
+		return dataset.Sample{Input: x, Label: label}
+	}
+	s := &dataset.Set{Name: "tiny", InputShape: [3]int{1, 1, 8}, NumClasses: 2}
+	for i := 0; i < n; i++ {
+		s.Train = append(s.Train, gen(i%2))
+		s.Test = append(s.Test, gen((i+1)%2))
+	}
+	return s
+}
+
+func TestRunLearnsSeparableTask(t *testing.T) {
+	set := tinyTask(200, 1)
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewNetwork("probe", 8, nn.NewDense(8, 2, false, rng))
+	res := Run(net, set, Config{Epochs: 3, LR: 0.1, Momentum: 0.9, LRDecay: 1, Seed: 3})
+	if res.TestAccuracy < 0.95 {
+		t.Errorf("test accuracy = %v, want >= 0.95", res.TestAccuracy)
+	}
+	if res.FinalLoss > 0.5 {
+		t.Errorf("final loss = %v", res.FinalLoss)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Epochs: 2, LR: 0.05, Momentum: 0.9, LRDecay: 1, Seed: 7}
+	accs := [2]float64{}
+	for trial := 0; trial < 2; trial++ {
+		set := tinyTask(100, 1)
+		net := nn.NewNetwork("p", 8, nn.NewDense(8, 2, false, rand.New(rand.NewSource(9))))
+		accs[trial] = Run(net, set, cfg).TestAccuracy
+	}
+	if accs[0] != accs[1] {
+		t.Errorf("training not deterministic: %v vs %v", accs[0], accs[1])
+	}
+}
+
+func TestMaxSamplesPerEpochCaps(t *testing.T) {
+	set := tinyTask(1000, 1)
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewNetwork("p", 8, nn.NewDense(8, 2, false, rng))
+	// Just ensure it runs quickly and still learns something.
+	res := Run(net, set, Config{Epochs: 2, LR: 0.1, Momentum: 0.9, LRDecay: 1, Seed: 3, MaxSamplesPerEpoch: 50})
+	if res.TestAccuracy < 0.8 {
+		t.Errorf("capped training accuracy = %v", res.TestAccuracy)
+	}
+}
+
+func TestShapeMaskKeepsTopPositions(t *testing.T) {
+	// 2 filters, 1 input channel, 2x2 kernel: 4 positions.
+	// Position norms: p0: 1²+1²=2, p1: 3²+3²=18, p2: 0, p3: 2²+2²=8.
+	w := []float64{
+		1, 3, 0, 2, // filter 0
+		1, 3, 0, 2, // filter 1
+	}
+	mask := ShapeMask(w, 2, 1, 2, 2, 2)
+	want := []float64{0, 1, 0, 1, 0, 1, 0, 1} // keep p1 and p3
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask[%d] = %v, want %v (mask=%v)", i, mask[i], want[i], mask)
+		}
+	}
+}
+
+func TestShapeMaskUniformAcrossFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	outC, inC, kh, kw := 4, 3, 3, 3
+	w := make([]float64, outC*inC*kh*kw)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	keep := 13
+	mask := ShapeMask(w, outC, inC, kh, kw, keep)
+	positions := inC * kh * kw
+	// Same pattern repeated for every filter.
+	for oc := 1; oc < outC; oc++ {
+		for p := 0; p < positions; p++ {
+			if mask[oc*positions+p] != mask[p] {
+				t.Fatalf("mask not shape-uniform at filter %d position %d", oc, p)
+			}
+		}
+	}
+	kept := 0
+	for p := 0; p < positions; p++ {
+		if mask[p] == 1 {
+			kept++
+		}
+	}
+	if kept != keep {
+		t.Errorf("kept %d positions, want %d", kept, keep)
+	}
+}
+
+// convTask is a small conv-friendly 3-class task on 8x8 images.
+func convTask(n int, seed int64) *dataset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	gen := func(label int) dataset.Sample {
+		img := make([]float64, 64)
+		for i := range img {
+			img[i] = rng.NormFloat64() * 0.1
+		}
+		switch label {
+		case 0: // horizontal bar
+			for x := 1; x < 7; x++ {
+				img[3*8+x] = 0.9
+			}
+		case 1: // vertical bar
+			for y := 1; y < 7; y++ {
+				img[y*8+4] = 0.9
+			}
+		case 2: // corner blob
+			for y := 1; y < 4; y++ {
+				for x := 1; x < 4; x++ {
+					img[y*8+x] = 0.9
+				}
+			}
+		}
+		return dataset.Sample{Input: img, Label: label}
+	}
+	s := &dataset.Set{Name: "conv3", InputShape: [3]int{1, 8, 8}, NumClasses: 3}
+	for i := 0; i < n; i++ {
+		s.Train = append(s.Train, gen(i%3))
+		s.Test = append(s.Test, gen((i+1)%3))
+	}
+	return s
+}
+
+func TestPruneConvADMMProducesStructuredSparsity(t *testing.T) {
+	set := convTask(120, 5)
+	arch := &nn.Arch{
+		Name: "prunable", InShape: [3]int{1, 8, 8}, NumClasses: 3,
+		Specs: []nn.LayerSpec{
+			{Kind: "conv", InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3, PruneRatio: 0.5},
+			{Kind: "relu", N: 4 * 6 * 6},
+			{Kind: "flatten", N: 144},
+			{Kind: "dense", In: 144, Out: 3},
+		},
+	}
+	rng := rand.New(rand.NewSource(6))
+	net := arch.Build(rng)
+	pre := Run(net, set, Config{Epochs: 3, LR: 0.05, Momentum: 0.9, LRDecay: 1, Seed: 7})
+	if pre.TestAccuracy < 0.9 {
+		t.Fatalf("pretraining accuracy too low: %v", pre.TestAccuracy)
+	}
+
+	cfg := DefaultADMMConfig()
+	cfg.Train = Config{Epochs: 1, LR: 0.02, Momentum: 0.9, LRDecay: 1, Seed: 8}
+	cfg.RetrainEpochs = 2
+	results := PruneConvADMM(net, arch, set, cfg)
+	if len(results) != 1 {
+		t.Fatalf("pruned %d layers, want 1", len(results))
+	}
+	r := results[0]
+	if math.Abs(r.Compression-2.0) > 0.3 {
+		t.Errorf("compression = %v, want ~2x", r.Compression)
+	}
+	if r.TestAccuracy < 0.85 {
+		t.Errorf("post-prune accuracy = %v", r.TestAccuracy)
+	}
+
+	// Verify the installed mask is genuinely shape-structured: the
+	// zero pattern repeats across filters, and ~half the positions are
+	// zero.
+	conv := net.Layers[0].(*nn.Conv2D)
+	if conv.Mask == nil {
+		t.Fatal("no mask installed")
+	}
+	positions := 9
+	zeros := 0
+	for p := 0; p < positions; p++ {
+		for oc := 1; oc < 4; oc++ {
+			if conv.Mask[oc*positions+p] != conv.Mask[p] {
+				t.Fatal("mask not uniform across filters")
+			}
+		}
+		if conv.Mask[p] == 0 {
+			zeros++
+		}
+	}
+	if zeros < 4 || zeros > 5 {
+		t.Errorf("zeroed positions = %d, want 4-5 of 9", zeros)
+	}
+}
+
+func TestPruneConvADMMNoTargets(t *testing.T) {
+	set := tinyTask(10, 1)
+	arch := &nn.Arch{
+		Name: "dense-only", InShape: [3]int{1, 1, 8}, NumClasses: 2,
+		Specs: []nn.LayerSpec{{Kind: "dense", In: 8, Out: 2}},
+	}
+	net := arch.Build(rand.New(rand.NewSource(1)))
+	if got := PruneConvADMM(net, arch, set, DefaultADMMConfig()); got != nil {
+		t.Errorf("expected nil results, got %v", got)
+	}
+}

@@ -8,6 +8,7 @@ package ehdl_test
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"testing"
@@ -16,6 +17,8 @@ import (
 	"ehdl/internal/device"
 	"ehdl/internal/experiments"
 	"ehdl/internal/fixed"
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
 )
 
 var (
@@ -186,6 +189,114 @@ func BenchmarkFig8FirstFC(b *testing.B) {
 		tag = strings.ReplaceAll(tag, ")", "")
 		b.ReportMetric(r.LatencyMS, tag+"-ms")
 		b.ReportMetric(r.EnergyMJ, tag+"-mJ")
+	}
+}
+
+// hostModel quantizes an untrained conv/pool/relu/bcm/dense stack for
+// the host-side kernel benchmarks — bit-level behaviour does not
+// depend on training, so these run without the training budget.
+func hostModel(b *testing.B) (*quant.Model, []fixed.Q15) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	arch := &nn.Arch{
+		Name: "host-bench", InShape: [3]int{1, 8, 8}, NumClasses: 4,
+		Specs: []nn.LayerSpec{
+			{Kind: "conv", InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3},
+			{Kind: "pool", InC: 4, InH: 6, InW: 6, PoolSize: 2},
+			{Kind: "relu", N: 4 * 3 * 3},
+			{Kind: "flatten", N: 36},
+			{Kind: "bcm", In: 36, Out: 16, K: 8, WeightNorm: true},
+			{Kind: "relu", N: 16},
+			{Kind: "dense", In: 16, Out: 4},
+		},
+	}
+	net := arch.Build(rng)
+	calib := make([][]float64, 6)
+	for i := range calib {
+		x := make([]float64, arch.InLen())
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		calib[i] = x
+	}
+	m, err := quant.Quantize(net, arch, calib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]fixed.Q15, arch.InLen())
+	for i := range in {
+		in[i] = fixed.FromFloat(rng.Float64()*2 - 1)
+	}
+	return m, in
+}
+
+// BenchmarkExecutorForward measures the host reference executor's
+// steady-state inference throughput for both BCM disciplines. With the
+// ping-pong scratch buffers and the precomputed BCM weight spectra the
+// loop body allocates nothing — -benchmem shows 0 allocs/op.
+func BenchmarkExecutorForward(b *testing.B) {
+	m, in := hostModel(b)
+	for _, d := range []struct {
+		name string
+		exe  *quant.Executor
+	}{
+		{"fft", quant.NewExecutor(m)},
+		{"time", quant.NewTimeExecutor(m)},
+	} {
+		b.Run(d.name, func(b *testing.B) {
+			d.exe.Forward(in) // warm-up
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.exe.Forward(in)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inf/s")
+		})
+	}
+}
+
+// BenchmarkExecutorForwardAllocs is the zero-allocation regression
+// gate in benchmark form: it reports the exact AllocsPerRun figure
+// (must be 0) for the steady-state Forward of both disciplines.
+func BenchmarkExecutorForwardAllocs(b *testing.B) {
+	m, in := hostModel(b)
+	for _, d := range []struct {
+		name string
+		exe  *quant.Executor
+	}{
+		{"fft", quant.NewExecutor(m)},
+		{"time", quant.NewTimeExecutor(m)},
+	} {
+		b.Run(d.name, func(b *testing.B) {
+			d.exe.Forward(in)
+			var allocs float64
+			for i := 0; i < b.N; i++ {
+				allocs = testing.AllocsPerRun(10, func() { d.exe.Forward(in) })
+			}
+			b.ReportMetric(allocs, "allocs/forward")
+			if allocs != 0 {
+				b.Fatalf("steady-state Forward allocates %v times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkHostThroughput measures full device simulations per second
+// of host wall time for every engine — the simulator-speed headline
+// the BENCH trajectory tracks (device-side numbers are unchanged by
+// host optimizations; this is how fast we can produce them).
+func BenchmarkHostThroughput(b *testing.B) {
+	m, in := hostModel(b)
+	for _, kind := range core.AllEngines() {
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.InferContinuous(kind, m, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inf/s")
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module ehdl
+
+go 1.24

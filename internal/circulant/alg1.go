@@ -89,6 +89,45 @@ func MulBlockRaw(dst []fixed.Q15, w, x []fixed.Q15, bShift uint, s *Alg1Scratch)
 	fftfixed.Real(dst, s.CY)
 }
 
+// BlockSpectrum computes the forward Algorithm 1 spectrum of a stored
+// weight block into dst: FFT(COMPLEX(w)), exactly the stages the block
+// kernel runs on the weights. Weights are frozen at inference, so
+// executors precompute this once per block and pass the result to
+// MulBlockRawSpec, halving the FFT work of every block multiply
+// without moving an output bit.
+func BlockSpectrum(dst []fftfixed.Complex, w []fixed.Q15) {
+	if len(dst) != len(w) {
+		panic("circulant: BlockSpectrum length mismatch")
+	}
+	if !fftfixed.IsPow2(len(w)) {
+		panic("circulant: BlockSpectrum block size must be a power of two")
+	}
+	fftfixed.ToComplex(dst, w)
+	fftfixed.FFT(dst)
+}
+
+// MulBlockRawSpec is MulBlockRaw with the weight spectrum supplied by
+// the caller (from BlockSpectrum): bit-identical output, one forward
+// FFT instead of two.
+func MulBlockRawSpec(dst []fixed.Q15, wSpec []fftfixed.Complex, x []fixed.Q15, bShift uint, s *Alg1Scratch) {
+	k := len(wSpec)
+	if len(x) != k || len(dst) != k {
+		panic("circulant: MulBlockRawSpec length mismatch")
+	}
+	if !fftfixed.IsPow2(k) {
+		panic("circulant: MulBlockRawSpec block size must be a power of two")
+	}
+	if len(s.CX) != k {
+		panic("circulant: scratch size mismatch")
+	}
+	fftfixed.ToComplex(s.CX, x)
+	fftfixed.FFT(s.CX)
+	fftfixed.MulComplexVec(s.CY, wSpec, s.CX)
+	fftfixed.ShlVec(s.CY, bShift)
+	fftfixed.IFFT(s.CY)
+	fftfixed.Real(dst, s.CY)
+}
+
 // WeightShift picks the largest power-of-two pre-scaling 2^s such that
 // max|w|·2^s stays below the Q15 ceiling with one bit of headroom.
 // Storing weights pre-scaled preserves precision through the 1/K FFT

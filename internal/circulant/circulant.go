@@ -22,58 +22,126 @@ import (
 	"ehdl/internal/mat"
 )
 
+// Scratch holds the reusable buffers of the float-domain helpers
+// (CircConvInto, CircCorrInto, MulVecInto, BackwardInto), so that
+// steady-state ADMM training iterations allocate nothing per block.
+// The zero value is ready to use: buffers grow on demand and are
+// retained. A Scratch belongs to one goroutine at a time.
+type Scratch struct {
+	ca, cb           []complex128
+	xp, yp, dyp, dxp []float64
+	conv             []float64
+}
+
+// complexPair returns two length-k complex buffers for the FFT paths.
+func (s *Scratch) complexPair(k int) (a, b []complex128) {
+	if cap(s.ca) < k {
+		s.ca = make([]complex128, k)
+		s.cb = make([]complex128, k)
+	}
+	return s.ca[:k], s.cb[:k]
+}
+
+// growFloats resizes *buf to length n, reusing its backing array when
+// large enough. Contents are unspecified.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// padInto copies x into a length-n view of *buf and zero-fills the
+// tail — the block-grid padding of a logical vector.
+func padInto(buf *[]float64, x []float64, n int) []float64 {
+	p := growFloats(buf, n)
+	copy(p, x)
+	for i := len(x); i < n; i++ {
+		p[i] = 0
+	}
+	return p
+}
+
 // CircConv returns the circular convolution w ⊛ x of two equal-length
 // vectors. For power-of-two lengths ≥ fftThreshold it uses the FFT
 // identity; otherwise the direct O(k²) sum.
 func CircConv(w, x []float64) []float64 {
+	out := make([]float64, len(w))
+	CircConvInto(out, w, x, nil)
+	return out
+}
+
+// CircConvInto computes the circular convolution w ⊛ x into dst
+// (length k), reusing s for the FFT path's complex buffers. A nil s
+// falls back to per-call allocation. dst must not alias w or x.
+func CircConvInto(dst, w, x []float64, s *Scratch) {
 	if len(w) != len(x) {
 		panic("circulant: CircConv length mismatch")
 	}
+	if len(dst) != len(w) {
+		panic("circulant: CircConvInto dst length mismatch")
+	}
 	k := len(w)
 	if k >= fftThreshold && fftfixed.IsPow2(k) {
-		return circConvFFT(w, x)
+		circConvFFT(dst, w, x, s)
+		return
 	}
-	out := make([]float64, k)
 	for r := 0; r < k; r++ {
-		var s float64
+		var sum float64
 		for c := 0; c < k; c++ {
-			s += w[(r-c+k)%k] * x[c]
+			sum += w[(r-c+k)%k] * x[c]
 		}
-		out[r] = s
+		dst[r] = sum
 	}
-	return out
 }
 
 // CircCorr returns the circular cross-correlation
 // out[d] = Σ_r a[r] · b[(r-d) mod k], the adjoint of CircConv used by
 // backprop: dL/dw = CircCorr(dy, x) and dL/dx = CircCorr(dy, w).
 func CircCorr(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	CircCorrInto(out, a, b, nil)
+	return out
+}
+
+// CircCorrInto computes the circular cross-correlation into dst
+// (length k), reusing s for the FFT path's complex buffers. A nil s
+// falls back to per-call allocation. dst must not alias a or b.
+func CircCorrInto(dst, a, b []float64, s *Scratch) {
 	if len(a) != len(b) {
 		panic("circulant: CircCorr length mismatch")
 	}
+	if len(dst) != len(a) {
+		panic("circulant: CircCorrInto dst length mismatch")
+	}
 	k := len(a)
 	if k >= fftThreshold && fftfixed.IsPow2(k) {
-		return circCorrFFT(a, b)
+		circCorrFFT(dst, a, b, s)
+		return
 	}
-	out := make([]float64, k)
 	for d := 0; d < k; d++ {
-		var s float64
+		var sum float64
 		for r := 0; r < k; r++ {
-			s += a[r] * b[(r-d+k)%k]
+			sum += a[r] * b[(r-d+k)%k]
 		}
-		out[d] = s
+		dst[d] = sum
 	}
-	return out
 }
 
 // fftThreshold is the length at which the FFT path beats the direct
 // sum for the float helpers.
 const fftThreshold = 32
 
-func circConvFFT(w, x []float64) []float64 {
+func circConvFFT(dst, w, x []float64, s *Scratch) {
 	k := len(w)
-	wf := make([]complex128, k)
-	xf := make([]complex128, k)
+	var wf, xf []complex128
+	if s != nil {
+		wf, xf = s.complexPair(k)
+	} else {
+		wf = make([]complex128, k)
+		xf = make([]complex128, k)
+	}
 	for i := 0; i < k; i++ {
 		wf[i] = complex(w[i], 0)
 		xf[i] = complex(x[i], 0)
@@ -84,17 +152,20 @@ func circConvFFT(w, x []float64) []float64 {
 		wf[i] *= xf[i]
 	}
 	fftfixed.Float64IFFT(wf)
-	out := make([]float64, k)
-	for i := range out {
-		out[i] = real(wf[i])
+	for i := range dst {
+		dst[i] = real(wf[i])
 	}
-	return out
 }
 
-func circCorrFFT(a, b []float64) []float64 {
+func circCorrFFT(dst, a, b []float64, s *Scratch) {
 	k := len(a)
-	af := make([]complex128, k)
-	bf := make([]complex128, k)
+	var af, bf []complex128
+	if s != nil {
+		af, bf = s.complexPair(k)
+	} else {
+		af = make([]complex128, k)
+		bf = make([]complex128, k)
+	}
 	for i := 0; i < k; i++ {
 		af[i] = complex(a[i], 0)
 		bf[i] = complex(b[i], 0)
@@ -106,11 +177,9 @@ func circCorrFFT(a, b []float64) []float64 {
 		af[i] *= complex(real(bf[i]), -imag(bf[i]))
 	}
 	fftfixed.Float64IFFT(af)
-	out := make([]float64, k)
-	for i := range out {
-		out[i] = real(af[i])
+	for i := range dst {
+		dst[i] = real(af[i])
 	}
-	return out
 }
 
 // Dense expands the circulant matrix defined by w into its full k×k
@@ -195,23 +264,56 @@ func NewRandom(out, in, k int, limit float64, rng *rand.Rand) *BCM {
 // MulVec computes y = B·x for a logical input of length InDim,
 // returning a logical output of length OutDim.
 func (b *BCM) MulVec(x []float64) []float64 {
+	return b.MulVecInto(nil, x, nil)
+}
+
+// MulVecInto computes y = B·x into dst (length OutDim; allocated when
+// nil), reusing s for the padded vectors and per-block convolutions so
+// steady-state calls allocate nothing. Returns dst.
+func (b *BCM) MulVecInto(dst, x []float64, s *Scratch) []float64 {
 	if len(x) != b.InDim {
 		panic(fmt.Sprintf("circulant: MulVec got %d elements, want %d", len(x), b.InDim))
 	}
-	xp := make([]float64, b.Q*b.K)
-	copy(xp, x)
-	yp := make([]float64, b.P*b.K)
+	if dst == nil {
+		dst = make([]float64, b.OutDim)
+	}
+	if len(dst) != b.OutDim {
+		panic(fmt.Sprintf("circulant: MulVecInto dst length %d, want %d", len(dst), b.OutDim))
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	xp := padInto(&s.xp, x, b.Q*b.K)
+	yp := growFloats(&s.yp, b.P*b.K)
+	for i := range yp {
+		yp[i] = 0
+	}
+	conv := growFloats(&s.conv, b.K)
 	for i := 0; i < b.P; i++ {
 		yi := yp[i*b.K : (i+1)*b.K]
 		for j := 0; j < b.Q; j++ {
 			xj := xp[j*b.K : (j+1)*b.K]
-			conv := CircConv(b.Blocks[i][j], xj)
+			CircConvInto(conv, b.Blocks[i][j], xj, s)
 			for d := range yi {
 				yi[d] += conv[d]
 			}
 		}
 	}
-	return yp[:b.OutDim]
+	copy(dst, yp[:b.OutDim])
+	return dst
+}
+
+// NewGrads allocates a per-block gradient tensor with the same
+// [P][Q][K] shape as Blocks, for reuse across BackwardInto calls.
+func (b *BCM) NewGrads() [][][]float64 {
+	grads := make([][][]float64, b.P)
+	for i := range grads {
+		grads[i] = make([][]float64, b.Q)
+		for j := range grads[i] {
+			grads[i][j] = make([]float64, b.K)
+		}
+	}
+	return grads
 }
 
 // Backward computes the input gradient dx and the per-block weight
@@ -219,29 +321,49 @@ func (b *BCM) MulVec(x []float64) []float64 {
 // (length InDim). The returned grads slice has the same [P][Q][K]
 // shape as Blocks.
 func (b *BCM) Backward(x, dy []float64) (dx []float64, grads [][][]float64) {
+	return b.BackwardInto(nil, nil, x, dy, nil)
+}
+
+// BackwardInto is Backward with caller-owned storage: dx (length
+// InDim) and grads (shape of NewGrads) are filled and returned,
+// allocated first when nil. s buffers the padded vectors so
+// steady-state training calls allocate nothing.
+func (b *BCM) BackwardInto(dx []float64, grads [][][]float64, x, dy []float64, s *Scratch) ([]float64, [][][]float64) {
 	if len(x) != b.InDim || len(dy) != b.OutDim {
 		panic("circulant: Backward shape mismatch")
 	}
-	xp := make([]float64, b.Q*b.K)
-	copy(xp, x)
-	dyp := make([]float64, b.P*b.K)
-	copy(dyp, dy)
-
-	grads = make([][][]float64, b.P)
-	dxp := make([]float64, b.Q*b.K)
+	if dx == nil {
+		dx = make([]float64, b.InDim)
+	}
+	if len(dx) != b.InDim {
+		panic("circulant: BackwardInto dx length mismatch")
+	}
+	if grads == nil {
+		grads = b.NewGrads()
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	xp := padInto(&s.xp, x, b.Q*b.K)
+	dyp := padInto(&s.dyp, dy, b.P*b.K)
+	dxp := growFloats(&s.dxp, b.Q*b.K)
+	for i := range dxp {
+		dxp[i] = 0
+	}
+	conv := growFloats(&s.conv, b.K)
 	for i := 0; i < b.P; i++ {
-		grads[i] = make([][]float64, b.Q)
 		dyi := dyp[i*b.K : (i+1)*b.K]
 		for j := 0; j < b.Q; j++ {
 			xj := xp[j*b.K : (j+1)*b.K]
-			grads[i][j] = CircCorr(dyi, xj)
-			dxj := CircCorr(dyi, b.Blocks[i][j])
+			CircCorrInto(grads[i][j], dyi, xj, s)
+			CircCorrInto(conv, dyi, b.Blocks[i][j], s)
 			for d := 0; d < b.K; d++ {
-				dxp[j*b.K+d] += dxj[d]
+				dxp[j*b.K+d] += conv[d]
 			}
 		}
 	}
-	return dxp[:b.InDim], grads
+	copy(dx, dxp[:b.InDim])
+	return dx, grads
 }
 
 // Dense expands the BCM into the equivalent logical OutDim×InDim dense

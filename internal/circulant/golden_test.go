@@ -1,0 +1,147 @@
+package circulant
+
+import (
+	"math/rand"
+	"testing"
+
+	"ehdl/internal/fftfixed"
+	"ehdl/internal/fixed"
+)
+
+func detQ(n int, seed uint32) []fixed.Q15 {
+	v := make([]fixed.Q15, n)
+	for i := range v {
+		h := uint32(i)*2654435761 + seed
+		v[i] = fixed.Q15(int32(h%20011) - 10005)
+	}
+	return v
+}
+
+// goldenBlockRaw pins MulBlockRaw's exact output bits on a fixed
+// 32-element block (bShift 2), captured from the seed implementation.
+var goldenBlockRaw = []fixed.Q15{1540, 104, -1919, 1019, -235, 563, 1591, -1590, 1520, 205, -1715, 1068, -218, 568, 600, -1634, 1460, 116, -101, 943, -365, -129, 201, -2082, 1000, 1351, -1593, 1142, -190, 6, 1304, -1970}
+
+func TestMulBlockRawGolden(t *testing.T) {
+	dst := make([]fixed.Q15, 32)
+	MulBlockRaw(dst, detQ(32, 7), detQ(32, 9), 2, NewAlg1Scratch(32))
+	for i, v := range dst {
+		if v != goldenBlockRaw[i] {
+			t.Fatalf("MulBlockRaw[%d] = %d, golden %d", i, v, goldenBlockRaw[i])
+		}
+	}
+}
+
+// TestMulBlockRawSpecMatchesRaw: the precomputed-spectrum path must be
+// bit-identical to transforming the weights live.
+func TestMulBlockRawSpecMatchesRaw(t *testing.T) {
+	for _, k := range []int{8, 16, 32, 64} {
+		w := detQ(k, uint32(3*k+1))
+		x := detQ(k, uint32(5*k+2))
+		s := NewAlg1Scratch(k)
+		want := make([]fixed.Q15, k)
+		MulBlockRaw(want, w, x, 1, s)
+
+		spec := make([]fftfixed.Complex, k)
+		BlockSpectrum(spec, w)
+		got := make([]fixed.Q15, k)
+		MulBlockRawSpec(got, spec, x, 1, s)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: spec path [%d] = %d, raw path %d", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestIntoVariantsMatchAllocating: the scratch-reusing float helpers
+// must produce bit-identical results to the allocating originals, for
+// both the direct and the FFT-backed lengths, across repeated reuse of
+// one Scratch.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var s Scratch
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		for trial := 0; trial < 3; trial++ {
+			w := randVec(k, rng)
+			x := randVec(k, rng)
+			conv := make([]float64, k)
+			CircConvInto(conv, w, x, &s)
+			if want := CircConv(w, x); !equal(conv, want) {
+				t.Fatalf("k=%d CircConvInto diverges", k)
+			}
+			corr := make([]float64, k)
+			CircCorrInto(corr, w, x, &s)
+			if want := CircCorr(w, x); !equal(corr, want) {
+				t.Fatalf("k=%d CircCorrInto diverges", k)
+			}
+		}
+	}
+}
+
+// TestBCMIntoVariantsMatch: MulVecInto/BackwardInto against the
+// allocating MulVec/Backward, reusing one scratch and caller storage
+// across calls and across differently-shaped BCMs.
+func TestBCMIntoVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var s Scratch
+	for _, shape := range []struct{ out, in, k int }{{8, 8, 4}, {10, 6, 4}, {40, 36, 8}, {33, 70, 16}} {
+		b := NewRandom(shape.out, shape.in, shape.k, 0.5, rng)
+		dst := make([]float64, b.OutDim)
+		dx := make([]float64, b.InDim)
+		grads := b.NewGrads()
+		for trial := 0; trial < 2; trial++ {
+			x := randVec(b.InDim, rng)
+			dy := randVec(b.OutDim, rng)
+			b.MulVecInto(dst, x, &s)
+			if want := b.MulVec(x); !equal(dst, want) {
+				t.Fatalf("%dx%d/%d MulVecInto diverges", shape.out, shape.in, shape.k)
+			}
+			b.BackwardInto(dx, grads, x, dy, &s)
+			wantDx, wantGrads := b.Backward(x, dy)
+			if !equal(dx, wantDx) {
+				t.Fatalf("%dx%d/%d BackwardInto dx diverges", shape.out, shape.in, shape.k)
+			}
+			for i := range grads {
+				for j := range grads[i] {
+					if !equal(grads[i][j], wantGrads[i][j]) {
+						t.Fatalf("%dx%d/%d BackwardInto grads[%d][%d] diverges",
+							shape.out, shape.in, shape.k, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulVecIntoSteadyStateAllocs: after warm-up, the scratch-reusing
+// BCM forward/backward must not allocate.
+func TestMulVecIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewRandom(40, 36, 8, 0.5, rng)
+	x := randVec(36, rng)
+	dy := randVec(40, rng)
+	var s Scratch
+	dst := make([]float64, b.OutDim)
+	dx := make([]float64, b.InDim)
+	grads := b.NewGrads()
+	b.MulVecInto(dst, x, &s)
+	b.BackwardInto(dx, grads, x, dy, &s)
+	if a := testing.AllocsPerRun(50, func() {
+		b.MulVecInto(dst, x, &s)
+		b.BackwardInto(dx, grads, x, dy, &s)
+	}); a != 0 {
+		t.Fatalf("steady-state MulVecInto+BackwardInto allocate %v times per run, want 0", a)
+	}
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -9,7 +9,9 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 
 	"ehdl/internal/circulant"
 	"ehdl/internal/core"
@@ -50,7 +52,11 @@ type Task struct {
 }
 
 // PrepareTasks trains the paper's three models through the full RAD
-// pipeline.
+// pipeline. The tasks are fully independent — each owns its dataset,
+// rngs (all seeded locally) and network — so they train concurrently;
+// the returned order matches the spec order regardless of which
+// finishes first, and the per-task results are bit-identical to a
+// serial run.
 func PrepareTasks(opts Options) ([]*Task, error) {
 	cfg := rad.DefaultPipelineConfig()
 	cfg.Train.Epochs = opts.Epochs
@@ -69,13 +75,27 @@ func PrepareTasks(opts Options) ([]*Task, error) {
 		{"HAR", dataset.HAR(opts.TrainSamples, opts.TestSamples, opts.Seed+1), nn.HARArch(128, 64)},
 		{"OKG", dataset.OKG(opts.TrainSamples, opts.TestSamples, opts.Seed+2), nn.OKGArch(256, 128, 64)},
 	}
-	var tasks []*Task
-	for _, s := range specs {
-		res, err := rad.Train(s.arch, s.set, cfg)
+	tasks := make([]*Task, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := specs[i]
+			res, err := rad.Train(s.arch, s.set, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: train %s: %w", s.name, err)
+				return
+			}
+			tasks[i] = &Task{Name: s.name, Set: s.set, Arch: s.arch, Result: res}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: train %s: %w", s.name, err)
+			return nil, err
 		}
-		tasks = append(tasks, &Task{Name: s.name, Set: s.set, Arch: s.arch, Result: res})
 	}
 	return tasks, nil
 }
@@ -213,36 +233,67 @@ type Fig7Row struct {
 	Energy [device.NumCategories]float64 // continuous breakdown (nJ)
 }
 
-// Fig7 measures every engine on every task under both supplies.
+// Fig7 measures every engine on every task under both supplies. Every
+// (task, engine) cell simulates its own independent device, so the
+// sweep runs over a bounded worker pool; the row order (tasks outer,
+// engines inner) and every device number are identical to a serial
+// sweep.
 func Fig7(tasks []*Task) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, t := range tasks {
-		input := fixed.FromFloats(t.Set.Test[0].Input)
-		for _, kind := range core.AllEngines() {
-			row := Fig7Row{Task: t.Name, Engine: kind}
-			rep, err := core.InferContinuous(kind, t.Result.Model, input)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s continuous: %w", t.Name, kind, err)
+	kinds := core.AllEngines()
+	rows := make([]Fig7Row, len(tasks)*len(kinds))
+	errs := make([]error, len(rows))
+	jobs := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				errs[idx] = fig7Cell(&rows[idx], tasks[idx/len(kinds)], kinds[idx%len(kinds)])
 			}
-			row.ContinuousMS = rep.Stats.ActiveSeconds * 1e3
-			row.ContinuousMJ = rep.Stats.EnergymJ()
-			row.Energy = rep.Stats.Energy
-
-			irep, err := core.InferIntermittent(kind, t.Result.Model, input, core.PaperHarvestSetup())
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s intermittent: %w", t.Name, kind, err)
-			}
-			row.Completed = irep.Intermittent.Completed
-			row.Boots = irep.Intermittent.Boots
-			row.IntermittentMS = irep.Stats.ActiveSeconds * 1e3
-			row.WallMS = irep.Stats.WallSeconds * 1e3
-			row.IntermittentMJ = irep.Stats.EnergymJ()
-			row.CheckpointMJ = irep.Stats.Energy[device.CatCheckpoint] * 1e-6
-			row.RestoreMJ = irep.Stats.Energy[device.CatRestore] * 1e-6
-			rows = append(rows, row)
+		}()
+	}
+	for idx := range rows {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil
+}
+
+// fig7Cell fills one (task, engine) measurement.
+func fig7Cell(row *Fig7Row, t *Task, kind core.EngineKind) error {
+	input := fixed.FromFloats(t.Set.Test[0].Input)
+	*row = Fig7Row{Task: t.Name, Engine: kind}
+	rep, err := core.InferContinuous(kind, t.Result.Model, input)
+	if err != nil {
+		return fmt.Errorf("experiments: %s/%s continuous: %w", t.Name, kind, err)
+	}
+	row.ContinuousMS = rep.Stats.ActiveSeconds * 1e3
+	row.ContinuousMJ = rep.Stats.EnergymJ()
+	row.Energy = rep.Stats.Energy
+
+	irep, err := core.InferIntermittent(kind, t.Result.Model, input, core.PaperHarvestSetup())
+	if err != nil {
+		return fmt.Errorf("experiments: %s/%s intermittent: %w", t.Name, kind, err)
+	}
+	row.Completed = irep.Intermittent.Completed
+	row.Boots = irep.Intermittent.Boots
+	row.IntermittentMS = irep.Stats.ActiveSeconds * 1e3
+	row.WallMS = irep.Stats.WallSeconds * 1e3
+	row.IntermittentMJ = irep.Stats.EnergymJ()
+	row.CheckpointMJ = irep.Stats.Energy[device.CatCheckpoint] * 1e-6
+	row.RestoreMJ = irep.Stats.Energy[device.CatRestore] * 1e-6
+	return nil
 }
 
 // fig7Find returns the row for (task, engine).

@@ -1,9 +1,88 @@
 package experiments
 
 import (
+	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+
+	"ehdl/internal/core"
+	"ehdl/internal/fixed"
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
 )
+
+// TestParallelHarnessRace is the -race smoke test for the concurrent
+// evaluation paths without paying for training: many goroutines share
+// the fftfixed twiddle caches through private executors and
+// independent device simulations, and every goroutine must see
+// bit-identical logits and device numbers.
+func TestParallelHarnessRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arch := &nn.Arch{
+		Name: "race", InShape: [3]int{1, 6, 6}, NumClasses: 4,
+		Specs: []nn.LayerSpec{
+			{Kind: "conv", InC: 1, InH: 6, InW: 6, OutC: 2, KH: 3, KW: 3},
+			{Kind: "relu", N: 2 * 4 * 4},
+			{Kind: "flatten", N: 32},
+			{Kind: "bcm", In: 32, Out: 16, K: 8, WeightNorm: true},
+			{Kind: "dense", In: 16, Out: 4},
+		},
+	}
+	net := arch.Build(rng)
+	calib := make([][]float64, 4)
+	for i := range calib {
+		x := make([]float64, arch.InLen())
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		calib[i] = x
+	}
+	m, err := quant.Quantize(net, arch, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]fixed.Q15, arch.InLen())
+	for i := range in {
+		in[i] = fixed.FromFloat(rng.Float64()*2 - 1)
+	}
+
+	wantLogits := quant.NewExecutor(m).Forward(in)
+	wantRep, err := core.InferContinuous(core.EngineACE, m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			exe := quant.NewExecutor(m)
+			for trial := 0; trial < 3; trial++ {
+				got := exe.Forward(in)
+				for i := range wantLogits {
+					if got[i] != wantLogits[i] {
+						t.Errorf("concurrent executor logit %d = %d, want %d", i, got[i], wantLogits[i])
+						return
+					}
+				}
+				rep, err := core.InferContinuous(core.EngineACE, m, in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rep.Stats.TotalEnergynJ != wantRep.Stats.TotalEnergynJ ||
+					rep.Stats.ActiveSeconds != wantRep.Stats.ActiveSeconds {
+					t.Errorf("concurrent device sim diverged: %v nJ vs %v nJ",
+						rep.Stats.TotalEnergynJ, wantRep.Stats.TotalEnergynJ)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 func TestTable1MatchesPaperExactly(t *testing.T) {
 	rows := Table1()

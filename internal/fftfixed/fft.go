@@ -13,6 +13,7 @@ package fftfixed
 import (
 	"math"
 	"math/bits"
+	"sync"
 
 	"ehdl/internal/fixed"
 )
@@ -37,21 +38,74 @@ func (c Complex) Float() complex128 {
 // lengths the LEA supports.
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
-// twiddles caches e^{-2πik/n} tables per size; harmless to recompute,
-// cheap to keep.
-var twiddles = map[int][]complex128{}
+// twiddles caches e^{-2πik/n} tables per size. The cache is
+// goroutine-safe: the parallel experiment harness runs transforms of
+// many sizes concurrently, so the first transform of a size publishes
+// the table under the write lock and the steady state is one RLock per
+// transform. Published tables are immutable.
+var (
+	twMu     sync.RWMutex
+	twiddles = map[int][]complex128{}
+)
 
 func twiddleTable(n int) []complex128 {
+	twMu.RLock()
+	t, ok := twiddles[n]
+	twMu.RUnlock()
+	if ok {
+		return t
+	}
+	twMu.Lock()
+	defer twMu.Unlock()
 	if t, ok := twiddles[n]; ok {
 		return t
 	}
-	t := make([]complex128, n/2)
+	t = make([]complex128, n/2)
 	for k := range t {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		t[k] = complex(math.Cos(ang), math.Sin(ang))
 	}
 	twiddles[n] = t
 	return t
+}
+
+// qTwiddle is one fixed-point twiddle factor, quantized once and
+// widened to the int64 the Q30 butterfly multiplies in.
+type qTwiddle struct{ re, im int64 }
+
+// qTwiddleSet holds the forward and inverse Q15 twiddle tables of one
+// size. The inverse entries are quantized from the conjugated float
+// value rather than negated after quantization: FromFloat saturates
+// +1 and −1 asymmetrically (32767 vs −32768), and the transform has
+// always quantized the conjugate directly — precomputing the tables
+// must not move a single output bit.
+type qTwiddleSet struct{ fwd, inv []qTwiddle }
+
+var (
+	qtwMu sync.RWMutex
+	qtw   = map[int]*qTwiddleSet{}
+)
+
+func qTwiddleTable(n int) *qTwiddleSet {
+	qtwMu.RLock()
+	s, ok := qtw[n]
+	qtwMu.RUnlock()
+	if ok {
+		return s
+	}
+	t := twiddleTable(n)
+	qtwMu.Lock()
+	defer qtwMu.Unlock()
+	if s, ok := qtw[n]; ok {
+		return s
+	}
+	s = &qTwiddleSet{fwd: make([]qTwiddle, len(t)), inv: make([]qTwiddle, len(t))}
+	for k, w := range t {
+		s.fwd[k] = qTwiddle{int64(fixed.FromFloat(real(w))), int64(fixed.FromFloat(imag(w)))}
+		s.inv[k] = qTwiddle{int64(fixed.FromFloat(real(w))), int64(fixed.FromFloat(-imag(w)))}
+	}
+	qtw[n] = s
+	return s
 }
 
 // bitReverse permutes v in place into bit-reversed index order.
@@ -136,18 +190,18 @@ func transformFixed(x []Complex, inverse bool) {
 		return
 	}
 	bitReverse(x)
-	tw := twiddleTable(n)
+	tset := qTwiddleTable(n)
+	tw := tset.fwd
+	if inverse {
+		tw = tset.inv
+	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size / 2
 		step := n / size
 		for start := 0; start < n; start += size {
 			for k := 0; k < half; k++ {
-				w := tw[k*step]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
-				wr := int64(fixed.FromFloat(real(w)))
-				wi := int64(fixed.FromFloat(imag(w)))
+				wr := tw[k*step].re
+				wi := tw[k*step].im
 				a := x[start+k]
 				b := x[start+k+half]
 				// The whole butterfly runs in the Q30 domain with a

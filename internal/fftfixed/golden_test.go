@@ -1,0 +1,76 @@
+package fftfixed
+
+import (
+	"sync"
+	"testing"
+
+	"ehdl/internal/fixed"
+)
+
+// detQ fills a Q15 vector deterministically (no rng, so the golden
+// vectors below are reproducible byte-for-byte across Go versions).
+func detQ(n int, seed uint32) []fixed.Q15 {
+	v := make([]fixed.Q15, n)
+	for i := range v {
+		h := uint32(i)*2654435761 + seed
+		v[i] = fixed.Q15(int32(h%20011) - 10005)
+	}
+	return v
+}
+
+// The golden vectors pin the seed implementation's exact output bits:
+// the twiddle-table precomputation must never move a bit of any
+// transform. Captured from the per-butterfly FromFloat implementation.
+var (
+	goldenFFTRe  = []fixed.Q15{-1963, -471, 445, -471, 1177, -472, -3092, -472, -1324, -472, -3093, -472, 1177, -471, 444, -471}
+	goldenFFTIm  = []fixed.Q15{0, 371, -1238, 111, -779, 49, 320, 15, 0, -15, -320, -49, 779, -110, 1238, -371}
+	goldenIFFTRe = []fixed.Q15{-10001, 6631, -3115, -6493, 3774, -5971, -9347, 915, -2457, 7807, -1935, -5309, 4952, -4791, -8167, 2099}
+	goldenIFFTIm = []fixed.Q15{1, 1, -1, 1, 0, 0, 1, -1, -1, 1, 1, 1, 0, -2, -1, -1}
+)
+
+func TestFixedFFTGolden(t *testing.T) {
+	c := make([]Complex, 16)
+	ToComplex(c, detQ(16, 1))
+	FFT(c)
+	for i := range c {
+		if c[i].Re != goldenFFTRe[i] || c[i].Im != goldenFFTIm[i] {
+			t.Fatalf("FFT[%d] = (%d, %d), golden (%d, %d)",
+				i, c[i].Re, c[i].Im, goldenFFTRe[i], goldenFFTIm[i])
+		}
+	}
+	// Continue through the inverse transform on the same data, pinning
+	// the round trip (the IFFT exercises the conjugate twiddle table).
+	IFFT(c)
+	for i := range c {
+		if c[i].Re != goldenIFFTRe[i] || c[i].Im != goldenIFFTIm[i] {
+			t.Fatalf("IFFT[%d] = (%d, %d), golden (%d, %d)",
+				i, c[i].Re, c[i].Im, goldenIFFTRe[i], goldenIFFTIm[i])
+		}
+	}
+}
+
+// TestTwiddleCachesConcurrent hammers both twiddle caches from many
+// goroutines across many fresh sizes — the data race the bare map
+// cache had blows up here under -race.
+func TestTwiddleCachesConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, n := range []int{8, 16, 32, 64, 128, 256} {
+				q := make([]Complex, n)
+				ToComplex(q, detQ(n, uint32(g)))
+				FFT(q)
+				IFFT(q)
+				f := make([]complex128, n)
+				for i := range f {
+					f[i] = complex(float64(i%7)/8, 0)
+				}
+				Float64FFT(f)
+				Float64IFFT(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -13,6 +13,18 @@ func FromFloats(fs []float64) []Q15 {
 	return qs
 }
 
+// FromFloatsInto converts fs into the preallocated Q15 slice dst —
+// the allocation-free form of FromFloats used by reusable-buffer hot
+// paths. The lengths must match.
+func FromFloatsInto(dst []Q15, fs []float64) {
+	if len(dst) != len(fs) {
+		panic("fixed: FromFloatsInto length mismatch")
+	}
+	for i, f := range fs {
+		dst[i] = FromFloat(f)
+	}
+}
+
 // Floats converts a Q15 slice to a freshly allocated float64 slice.
 func Floats(qs []Q15) []float64 {
 	fs := make([]float64, len(qs))

@@ -156,6 +156,17 @@ type BCMDense struct {
 	x   []float64
 	// cached forward scales for Backward (straight-through).
 	invNM float64
+
+	// Reusable buffers: per-block FFT scratch plus the forward output,
+	// input gradient, per-block weight gradients and scaled upstream
+	// gradient, so steady-state training steps allocate nothing in this
+	// layer. Forward and Backward return views into these buffers,
+	// valid until the layer's next Forward/Backward call.
+	scr    circulant.Scratch
+	out    []float64
+	dx     []float64
+	grads  [][][]float64
+	scaled []float64
 }
 
 // NewBCMDense builds a BCM-compressed FC layer with block size k.
@@ -221,7 +232,8 @@ func (d *BCMDense) Params() []*Tensor { return []*Tensor{d.W, d.B} }
 // BCM returns the live block-circulant view of the weights.
 func (d *BCMDense) BCM() *circulant.BCM { return d.bcm }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned slice is owned by the layer
+// and overwritten by its next Forward call.
 func (d *BCMDense) Forward(x []float64) []float64 {
 	checkLen("bcmdense", len(x), d.In)
 	d.x = x
@@ -229,19 +241,25 @@ func (d *BCMDense) Forward(x []float64) []float64 {
 	if d.CosNorm {
 		d.invNM = cosNormGain * inputScale(x) / d.WeightNorm()
 	}
-	out := d.bcm.MulVec(x)
+	out := d.bcm.MulVecInto(d.out, x, &d.scr)
+	d.out = out
 	for r := range out {
 		out[r] = out[r]*d.invNM + d.B.Data[r]
 	}
 	return out
 }
 
-// Backward implements Layer (scales treated as constants).
+// Backward implements Layer (scales treated as constants). The
+// returned slice is owned by the layer and overwritten by its next
+// Backward call.
 func (d *BCMDense) Backward(dy []float64) []float64 {
 	checkLen("bcmdense backward", len(dy), d.Out)
 	scaled := dy
 	if d.invNM != 1 {
-		scaled = make([]float64, len(dy))
+		if d.scaled == nil {
+			d.scaled = make([]float64, d.Out)
+		}
+		scaled = d.scaled
 		for r, g := range dy {
 			scaled[r] = g * d.invNM
 		}
@@ -249,7 +267,8 @@ func (d *BCMDense) Backward(dy []float64) []float64 {
 	for r, g := range dy {
 		d.B.Grad[r] += g
 	}
-	dx, grads := d.bcm.Backward(d.x, scaled)
+	dx, grads := d.bcm.BackwardInto(d.dx, d.grads, d.x, scaled, &d.scr)
+	d.dx, d.grads = dx, grads
 	p := d.bcm.P
 	q := d.bcm.Q
 	for i := 0; i < p; i++ {

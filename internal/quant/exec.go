@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ehdl/internal/circulant"
+	"ehdl/internal/fftfixed"
 	"ehdl/internal/fixed"
 )
 
@@ -32,79 +33,172 @@ func InputScale(x []fixed.Q15, sIn int) fixed.Q15 {
 // with no device charging. Every on-device runtime must produce output
 // identical to this executor for its model — the tests enforce it.
 
+// BCMScratch bundles the reusable buffers of one BCM block size: the
+// Algorithm 1 complex scratch plus the padded-input, block-accumulator
+// and per-block convolution vectors. XP must hold at least q·k
+// elements of the largest layer served; Acc and Conv hold k.
+type BCMScratch struct {
+	Alg  *circulant.Alg1Scratch
+	XP   []fixed.Q15
+	Acc  []fixed.Q15
+	Conv []fixed.Q15
+}
+
+// NewBCMScratch returns scratch for block size k serving layers with a
+// padded input of up to maxIn (= q·k) elements.
+func NewBCMScratch(k, maxIn int) *BCMScratch {
+	if maxIn < k {
+		maxIn = k
+	}
+	return &BCMScratch{
+		Alg:  circulant.NewAlg1Scratch(k),
+		XP:   make([]fixed.Q15, maxIn),
+		Acc:  make([]fixed.Q15, k),
+		Conv: make([]fixed.Q15, k),
+	}
+}
+
 // Executor runs a Model on the host. Two BCM disciplines exist:
 // the FFT path (Algorithm 1, what ACE executes) and the time-domain
 // path (naive circulant MACs, what BASE/SONIC/TAILS execute); they
 // approximate the same real values but round differently, so each
 // engine is tested against its own discipline.
+//
+// All scratch the steady state needs — ping-pong activation buffers,
+// BCM block scratch, and (for the FFT discipline) the precomputed
+// FFT-domain weight spectra of every BCM block — is sized at
+// construction, so Forward and Predict allocate nothing after the
+// first call. The price of that reuse is two contracts: an Executor
+// serves one goroutine at a time (build one per worker for parallel
+// sweeps), and the slice Forward returns is owned by the executor,
+// valid until its next Forward/Layer/Predict call.
 type Executor struct {
 	m          *Model
-	scratch    map[int]*circulant.Alg1Scratch
 	timeDomain bool
+
+	// bcm maps block size K to the shared scratch of all BCM layers of
+	// that size.
+	bcm map[int]*BCMScratch
+	// wspec[li] caches FFT(w) of every block of BCM layer li, laid out
+	// block-row-major like QLayer.W (FFT discipline only; weights are
+	// frozen at inference, so each spectrum is computed once instead of
+	// once per Forward).
+	wspec [][]fftfixed.Complex
+	// bufA/bufB are the ping-pong activation buffers layers write into
+	// alternately; both hold MaxActivationLen elements.
+	bufA, bufB []fixed.Q15
+	// qin is Predict's reusable quantized-input buffer.
+	qin []fixed.Q15
 }
 
 // NewExecutor builds a reference executor using the FFT discipline for
 // BCM layers (ACE's semantics).
 func NewExecutor(m *Model) *Executor {
-	return &Executor{m: m, scratch: map[int]*circulant.Alg1Scratch{}}
+	return newExecutor(m, false)
 }
 
 // NewTimeExecutor builds a reference executor using the time-domain
 // discipline for BCM layers (the baselines' semantics).
 func NewTimeExecutor(m *Model) *Executor {
-	return &Executor{m: m, scratch: map[int]*circulant.Alg1Scratch{}, timeDomain: true}
+	return newExecutor(m, true)
+}
+
+func newExecutor(m *Model, timeDomain bool) *Executor {
+	e := &Executor{
+		m:          m,
+		timeDomain: timeDomain,
+		bcm:        map[int]*BCMScratch{},
+		wspec:      make([][]fftfixed.Complex, len(m.Layers)),
+	}
+	maxAct := m.MaxActivationLen()
+	e.bufA = make([]fixed.Q15, maxAct)
+	e.bufB = make([]fixed.Q15, maxAct)
+	e.qin = make([]fixed.Q15, m.InShape[0]*m.InShape[1]*m.InShape[2])
+	for li := range m.Layers {
+		l := &m.Layers[li]
+		if l.Spec.Kind != "bcm" {
+			continue
+		}
+		k := l.Spec.K
+		p := (l.Spec.Out + k - 1) / k
+		q := (l.Spec.In + k - 1) / k
+		if s := e.bcm[k]; s == nil {
+			e.bcm[k] = NewBCMScratch(k, q*k)
+		} else if len(s.XP) < q*k {
+			s.XP = make([]fixed.Q15, q*k)
+		}
+		if !timeDomain {
+			spec := make([]fftfixed.Complex, p*q*k)
+			for blk := 0; blk < p*q; blk++ {
+				circulant.BlockSpectrum(spec[blk*k:(blk+1)*k], l.W[blk*k:(blk+1)*k])
+			}
+			e.wspec[li] = spec
+		}
+	}
+	return e
 }
 
 // Forward runs the model on a quantized input and returns the
 // quantized logits (at activation scale 2^S of the final layer).
+// Steady-state calls perform no allocation; the result aliases an
+// internal buffer that the next Forward/Layer/Predict call overwrites.
 func (e *Executor) Forward(x []fixed.Q15) []fixed.Q15 {
 	cur := x
+	dst, other := e.bufA, e.bufB
 	for li := range e.m.Layers {
-		cur = e.Layer(li, cur)
+		n := LayerOutLen(e.m.Layers[li].Spec)
+		cur = e.layerInto(li, cur, dst[:n])
+		dst, other = other, dst
 	}
 	return cur
 }
 
-// Layer executes a single layer (exported so runtimes can cross-check
-// stage by stage).
+// Layer executes a single layer into a freshly allocated output
+// (exported so runtimes can cross-check stage by stage).
 func (e *Executor) Layer(li int, x []fixed.Q15) []fixed.Q15 {
+	out := make([]fixed.Q15, LayerOutLen(e.m.Layers[li].Spec))
+	return e.layerInto(li, x, out)
+}
+
+// layerInto executes layer li into dst (length = the layer's output
+// length) and returns dst.
+func (e *Executor) layerInto(li int, x, dst []fixed.Q15) []fixed.Q15 {
 	l := &e.m.Layers[li]
 	switch l.Spec.Kind {
 	case "conv":
-		return ConvLayer(l, x)
+		return ConvLayerInto(dst, l, x)
 	case "pool":
-		return PoolLayer(l, x)
+		return PoolLayerInto(dst, l, x)
 	case "relu":
-		return ReLULayer(l, x)
+		return ReLULayerInto(dst, l, x)
 	case "flatten":
-		return append([]fixed.Q15(nil), x...)
+		copy(dst, x)
+		return dst
 	case "dense":
-		return DenseLayer(l, x)
+		return DenseLayerInto(dst, l, x)
 	case "bcm":
+		s := e.bcm[l.Spec.K]
 		if e.timeDomain {
-			return BCMLayerTime(l, x)
+			return BCMLayerTimeInto(dst, l, x, s.XP)
 		}
-		k := l.Spec.K
-		s := e.scratch[k]
-		if s == nil {
-			s = circulant.NewAlg1Scratch(k)
-			e.scratch[k] = s
-		}
-		return BCMLayer(l, x, s)
+		return BCMLayerInto(dst, l, x, e.wspec[li], s)
 	}
 	panic(fmt.Sprintf("quant: unknown layer kind %q", l.Spec.Kind))
 }
 
 // Predict quantizes a float input, runs the model, and returns the
-// argmax class.
+// argmax class. Steady-state calls perform no allocation.
 func (e *Executor) Predict(x []float64) int {
-	logits := e.Forward(fixed.FromFloats(x))
-	best, bestV := 0, fixed.Q15(-32768)
-	first := true
-	for i, v := range logits {
-		if first || v > bestV {
-			best, bestV = i, v
-			first = false
+	q := e.qin
+	if len(q) != len(x) {
+		q = make([]fixed.Q15, len(x))
+	}
+	fixed.FromFloatsInto(q, x)
+	logits := e.Forward(q)
+	best := 0
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			best = i
 		}
 	}
 	return best
@@ -113,10 +207,16 @@ func (e *Executor) Predict(x []float64) int {
 // ConvLayer is the quantized convolution: Q31 MAC over kept kernel
 // positions, one combined shift, bias add.
 func ConvLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	return ConvLayerInto(make([]fixed.Q15, LayerOutLen(l.Spec)), l, x)
+}
+
+// ConvLayerInto is ConvLayer writing into dst (the layer's output
+// length); every element of dst is overwritten. Returns dst.
+func ConvLayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15) []fixed.Q15 {
 	s := l.Spec
 	oh := s.InH - s.KH + 1
 	ow := s.InW - s.KW + 1
-	out := make([]fixed.Q15, s.OutC*oh*ow)
+	out := dst[:s.OutC*oh*ow]
 	shift := l.AccShift()
 	positions := s.InC * s.KH * s.KW
 	for oc := 0; oc < s.OutC; oc++ {
@@ -154,10 +254,16 @@ func ConvLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 
 // PoolLayer is quantized max pooling (scale preserving).
 func PoolLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	return PoolLayerInto(make([]fixed.Q15, LayerOutLen(l.Spec)), l, x)
+}
+
+// PoolLayerInto is PoolLayer writing into dst; every element of dst is
+// overwritten. Returns dst.
+func PoolLayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15) []fixed.Q15 {
 	s := l.Spec
 	oh := s.InH / s.PoolSize
 	ow := s.InW / s.PoolSize
-	out := make([]fixed.Q15, s.InC*oh*ow)
+	out := dst[:s.InC*oh*ow]
 	for c := 0; c < s.InC; c++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -179,10 +285,18 @@ func PoolLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 
 // ReLULayer is the quantized rectifier.
 func ReLULayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
-	out := make([]fixed.Q15, len(x))
+	return ReLULayerInto(make([]fixed.Q15, len(x)), l, x)
+}
+
+// ReLULayerInto is ReLULayer writing into dst; every element of dst is
+// overwritten (negatives clamp to zero). Returns dst.
+func ReLULayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	out := dst[:len(x)]
 	for i, v := range x {
 		if v > 0 {
 			out[i] = v
+		} else {
+			out[i] = 0
 		}
 	}
 	return out
@@ -191,8 +305,14 @@ func ReLULayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 // DenseLayer is the quantized fully connected layer: Q31 row MACs,
 // combined shift, bias add.
 func DenseLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	return DenseLayerInto(make([]fixed.Q15, LayerOutLen(l.Spec)), l, x)
+}
+
+// DenseLayerInto is DenseLayer writing into dst; every element of dst
+// is overwritten. Returns dst.
+func DenseLayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15) []fixed.Q15 {
 	s := l.Spec
-	out := make([]fixed.Q15, s.Out)
+	out := dst[:s.Out]
 	shift := l.AccShift()
 	for r := 0; r < s.Out; r++ {
 		row := l.W[r*s.In : (r+1)*s.In]
@@ -209,16 +329,26 @@ func DenseLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 // can do with the compressed storage. MAC order: blocks j ascending,
 // columns c ascending within a block.
 func BCMLayerTime(l *QLayer, x []fixed.Q15) []fixed.Q15 {
+	return BCMLayerTimeInto(make([]fixed.Q15, LayerOutLen(l.Spec)), l, x, nil)
+}
+
+// BCMLayerTimeInto is BCMLayerTime writing into dst, staging the
+// cosine-normalized input in xs (length ≥ len(x); allocated when nil).
+// Every element of dst is overwritten. Returns dst.
+func BCMLayerTimeInto(dst []fixed.Q15, l *QLayer, x, xs []fixed.Q15) []fixed.Q15 {
 	s := l.Spec
 	k := s.K
 	q := (s.In + k - 1) / k
-	out := make([]fixed.Q15, s.Out)
+	out := dst[:s.Out]
 	shift := l.AccShift()
-	xs := x
+	xv := x
 	if l.CosNorm {
 		scale := InputScale(x, l.SIn)
-		xs = make([]fixed.Q15, len(x))
-		fixed.ScaleVec(xs, x, scale)
+		if xs == nil {
+			xs = make([]fixed.Q15, len(x))
+		}
+		xv = xs[:len(x)]
+		fixed.ScaleVec(xv, x, scale)
 	}
 	for r := 0; r < s.Out; r++ {
 		i := r / k
@@ -231,7 +361,7 @@ func BCMLayerTime(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 				lim = k
 			}
 			for c := 0; c < lim; c++ {
-				acc = fixed.MAC(acc, w[(rk-c+k)%k], xs[j*k+c])
+				acc = fixed.MAC(acc, w[(rk-c+k)%k], xv[j*k+c])
 			}
 		}
 		v := fixed.NarrowQ31(acc, shift)
@@ -245,20 +375,42 @@ func BCMLayerTime(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 // positions beyond Spec.In/Spec.Out are zero-filled/dropped here,
 // matching the on-device layout.
 func BCMLayer(l *QLayer, x []fixed.Q15, scratch *circulant.Alg1Scratch) []fixed.Q15 {
-	s := l.Spec
-	k := s.K
-	p := (s.Out + k - 1) / k
-	q := (s.In + k - 1) / k
+	k := l.Spec.K
+	q := (l.Spec.In + k - 1) / k
+	s := &BCMScratch{
+		Alg:  scratch,
+		XP:   make([]fixed.Q15, q*k),
+		Acc:  make([]fixed.Q15, k),
+		Conv: make([]fixed.Q15, k),
+	}
+	return BCMLayerInto(make([]fixed.Q15, LayerOutLen(l.Spec)), l, x, nil, s)
+}
 
-	xp := make([]fixed.Q15, q*k)
+// BCMLayerInto is BCMLayer writing into dst with caller-owned scratch.
+// spec optionally supplies the precomputed FFT-domain weight spectra
+// of the layer's blocks (block-row-major, from circulant.BlockSpectrum);
+// nil transforms the weights live. Both paths produce identical bits —
+// the spectrum of a frozen weight block never changes, so precomputing
+// it merely halves the FFT work. Every element of dst is overwritten.
+// Returns dst.
+func BCMLayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15, spec []fftfixed.Complex, s *BCMScratch) []fixed.Q15 {
+	sp := l.Spec
+	k := sp.K
+	p := (sp.Out + k - 1) / k
+	q := (sp.In + k - 1) / k
+
+	xp := s.XP[:q*k]
 	copy(xp, x)
+	for i := len(x); i < len(xp); i++ {
+		xp[i] = 0
+	}
 	if l.CosNorm {
 		scale := InputScale(x, l.SIn)
 		fixed.ScaleVec(xp[:len(x)], xp[:len(x)], scale)
 	}
-	conv := make([]fixed.Q15, k)
-	acc := make([]fixed.Q15, k)
-	out := make([]fixed.Q15, s.Out)
+	conv := s.Conv[:k]
+	acc := s.Acc[:k]
+	out := dst[:sp.Out]
 	shift := l.BCMShift()
 
 	for i := 0; i < p; i++ {
@@ -266,13 +418,17 @@ func BCMLayer(l *QLayer, x []fixed.Q15, scratch *circulant.Alg1Scratch) []fixed.
 			acc[d] = 0
 		}
 		for j := 0; j < q; j++ {
-			w := l.W[(i*q+j)*k : (i*q+j+1)*k]
-			circulant.MulBlockRaw(conv, w, xp[j*k:(j+1)*k], uint(l.BShift), scratch)
+			if spec != nil {
+				circulant.MulBlockRawSpec(conv, spec[(i*q+j)*k:(i*q+j+1)*k], xp[j*k:(j+1)*k], uint(l.BShift), s.Alg)
+			} else {
+				w := l.W[(i*q+j)*k : (i*q+j+1)*k]
+				circulant.MulBlockRaw(conv, w, xp[j*k:(j+1)*k], uint(l.BShift), s.Alg)
+			}
 			fixed.AddVec(acc, acc, conv)
 		}
 		for d := 0; d < k; d++ {
 			r := i*k + d
-			if r >= s.Out {
+			if r >= sp.Out {
 				break
 			}
 			v := fixed.ShiftQ15(acc[d], shift)

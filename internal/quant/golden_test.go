@@ -1,0 +1,160 @@
+package quant
+
+import (
+	"testing"
+
+	"ehdl/internal/circulant"
+	"ehdl/internal/fixed"
+	"ehdl/internal/nn"
+)
+
+// detQ fills a Q15 vector deterministically; together with the pinned
+// golden vectors below it freezes the seed kernels' exact output bits,
+// so the scratch-reusing rewrite (and any future optimization) cannot
+// move a single bit of the quantized inference path.
+func detQ(n int, seed uint32) []fixed.Q15 {
+	v := make([]fixed.Q15, n)
+	for i := range v {
+		h := uint32(i)*2654435761 + seed
+		v[i] = fixed.Q15(int32(h%20011) - 10005)
+	}
+	return v
+}
+
+var (
+	goldenConvOut  = []fixed.Q15{-9306, -10657, -10001, -9265, -8905, -10508, -9388, -10624, -10305, -9773, -9111, -10624, -10780, -8852, -10250, -10122, 6221, 7250, 7011, 6180, 6649, 7427, 6279, 6862, 6996, 6371, 6359, 6890, 7517, 6093, 6852, 6309, -3737, -2930, -3990, -2063, -1478, -3717, -2962, -2120, -3586, -4097, -2318, -3210, -4033, -2955, -3355, -3784}
+	goldenDenseOut = []fixed.Q15{-6687, 5716, -3463, -7307, 2587, -2923, -10122, 471}
+	goldenBCMOut   = []fixed.Q15{-8992, 6634, -3025, -5781, 3438, -5179, -8877, -218, -1439, 7861, -2282, -4598, 4793, -4280, -7872, 1247, -1450, 9401, -1740, -4253}
+	goldenBCMTime  = []fixed.Q15{-8995, 6631, -3033, -5775, 3442, -5172, -8873, -220, -1435, 7864, -2278, -4603, 4794, -4279, -7870, 1238, -1448, 9398, -1741, -4254}
+
+	goldenModelFFT  = []fixed.Q15{-7368, 8488, -1904, -6414}
+	goldenModelTime = []fixed.Q15{-7369, 8487, -1904, -6414}
+)
+
+func goldenConvLayer() *QLayer {
+	return &QLayer{
+		Spec:   nn.LayerSpec{Kind: "conv", InC: 2, InH: 6, InW: 6, OutC: 3, KH: 3, KW: 3},
+		W:      detQ(3*2*3*3, 11),
+		B:      detQ(3, 13),
+		WShift: 2, SIn: 0, SOut: 1,
+	}
+}
+
+func goldenDenseLayer() *QLayer {
+	return &QLayer{
+		Spec:   nn.LayerSpec{Kind: "dense", In: 12, Out: 8},
+		W:      detQ(8*12, 19),
+		B:      detQ(8, 23),
+		WShift: 1, SIn: 1, SOut: 2,
+	}
+}
+
+func goldenBCMLayer() *QLayer {
+	return &QLayer{
+		Spec:    nn.LayerSpec{Kind: "bcm", In: 24, Out: 20, K: 16},
+		W:       detQ(2*2*16, 31),
+		B:       detQ(20, 37),
+		WShift:  2,
+		SIn:     1,
+		SOut:    2,
+		BShift:  1,
+		CosNorm: true,
+	}
+}
+
+// goldenModel is a full conv→pool→relu→flatten→bcm→dense stack with
+// deterministic weights; its Forward outputs are pinned for both
+// disciplines.
+func goldenModel() *Model {
+	return &Model{
+		Name: "golden", InShape: [3]int{1, 6, 6}, NumClasses: 4,
+		Layers: []QLayer{
+			{Spec: nn.LayerSpec{Kind: "conv", InC: 1, InH: 6, InW: 6, OutC: 2, KH: 3, KW: 3},
+				W: detQ(2*1*3*3, 43), B: detQ(2, 47), WShift: 2, SIn: 0, SOut: 1},
+			{Spec: nn.LayerSpec{Kind: "pool", InC: 2, InH: 4, InW: 4, PoolSize: 2}, SIn: 1, SOut: 1},
+			{Spec: nn.LayerSpec{Kind: "relu", N: 8}, SIn: 1, SOut: 1},
+			{Spec: nn.LayerSpec{Kind: "flatten", N: 8}, SIn: 1, SOut: 1},
+			{Spec: nn.LayerSpec{Kind: "bcm", In: 8, Out: 8, K: 8},
+				W: detQ(8, 53), B: detQ(8, 59), WShift: 1, SIn: 1, SOut: 1, BShift: 1, CosNorm: true},
+			{Spec: nn.LayerSpec{Kind: "dense", In: 8, Out: 4},
+				W: detQ(4*8, 61), B: detQ(4, 67), WShift: 1, SIn: 1, SOut: 2},
+		},
+	}
+}
+
+func checkQ(t *testing.T, what string, got, want []fixed.Q15) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d] = %d, golden %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelGoldens(t *testing.T) {
+	checkQ(t, "conv", ConvLayer(goldenConvLayer(), detQ(2*6*6, 17)), goldenConvOut)
+	checkQ(t, "dense", DenseLayer(goldenDenseLayer(), detQ(12, 29)), goldenDenseOut)
+	in := detQ(24, 41)
+	checkQ(t, "bcm", BCMLayer(goldenBCMLayer(), in, circulant.NewAlg1Scratch(16)), goldenBCMOut)
+	checkQ(t, "bcm-time", BCMLayerTime(goldenBCMLayer(), in), goldenBCMTime)
+}
+
+func TestExecutorGoldens(t *testing.T) {
+	m := goldenModel()
+	in := detQ(36, 71)
+	fft := NewExecutor(m)
+	tim := NewTimeExecutor(m)
+	checkQ(t, "model-fft", fft.Forward(in), goldenModelFFT)
+	checkQ(t, "model-time", tim.Forward(in), goldenModelTime)
+	// Repeat on the same executors: buffer reuse must be idempotent.
+	checkQ(t, "model-fft-2", fft.Forward(in), goldenModelFFT)
+	checkQ(t, "model-time-2", tim.Forward(in), goldenModelTime)
+	if p := fft.Predict(fixed.Floats(in)); p != 1 {
+		t.Fatalf("Predict = %d, golden 1", p)
+	}
+}
+
+// TestForwardZeroAlloc is the acceptance gate of the allocation-free
+// hot path: after the first call, Forward and Predict must not
+// allocate, on either BCM discipline.
+func TestForwardZeroAlloc(t *testing.T) {
+	m := goldenModel()
+	in := detQ(36, 71)
+	fin := fixed.Floats(in)
+	for _, d := range []struct {
+		name string
+		exe  *Executor
+	}{
+		{"fft", NewExecutor(m)},
+		{"time", NewTimeExecutor(m)},
+	} {
+		d.exe.Forward(in) // warm-up: fills the lazy twiddle caches
+		if a := testing.AllocsPerRun(100, func() { d.exe.Forward(in) }); a != 0 {
+			t.Errorf("%s: steady-state Forward allocates %v times per run, want 0", d.name, a)
+		}
+		if a := testing.AllocsPerRun(100, func() { d.exe.Predict(fin) }); a != 0 {
+			t.Errorf("%s: steady-state Predict allocates %v times per run, want 0", d.name, a)
+		}
+	}
+}
+
+// TestPredictArgmaxTies: ties keep the earliest index, the seed
+// argmax's behaviour.
+func TestPredictArgmaxTies(t *testing.T) {
+	m := &Model{
+		Name: "argmax", InShape: [3]int{1, 1, 3}, NumClasses: 3,
+		Layers: []QLayer{
+			{Spec: nn.LayerSpec{Kind: "relu", N: 3}},
+		},
+	}
+	e := NewExecutor(m)
+	if p := e.Predict([]float64{0.5, 0.5, 0.25}); p != 0 {
+		t.Fatalf("tie broke to %d, want earliest index 0", p)
+	}
+	if p := e.Predict([]float64{0.1, 0.2, 0.5}); p != 2 {
+		t.Fatalf("argmax = %d, want 2", p)
+	}
+}

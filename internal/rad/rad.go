@@ -9,7 +9,10 @@ package rad
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ehdl/internal/dataset"
 	"ehdl/internal/device"
@@ -226,18 +229,56 @@ func Train(arch *nn.Arch, set *dataset.Set, cfg PipelineConfig) (*Result, error)
 		return nil, fmt.Errorf("rad: quantize: %w", err)
 	}
 
-	exe := quant.NewExecutor(m)
 	out := &Result{
 		Arch:          arch,
 		Net:           net,
 		Model:         m,
 		FloatAccuracy: set.Accuracy(net.Predict),
-		QuantAccuracy: set.Accuracy(exe.Predict),
+		QuantAccuracy: QuantAccuracy(m, set),
 		Prune:         pruneResults,
 		EstCycles:     EstimateCycles(arch, device.DefaultCosts()),
 	}
 	_ = res
 	return out, nil
+}
+
+// QuantAccuracy measures the quantized model's test accuracy (the
+// Table II "quant" column) over a bounded worker pool. Executors are
+// not goroutine-safe, so each worker builds its own; the result is the
+// same order-independent correct count a serial evaluation produces.
+func QuantAccuracy(m *quant.Model, set *dataset.Set) float64 {
+	n := len(set.Test)
+	if n == 0 {
+		return 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return set.Accuracy(quant.NewExecutor(m).Predict)
+	}
+	var next, correct atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			exe := quant.NewExecutor(m)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s := &set.Test[i]
+				if exe.Predict(s.Input) == s.Label {
+					correct.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(correct.Load()) / float64(n)
 }
 
 // SearchAndTrain runs Search then trains ranked candidates until one

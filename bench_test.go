@@ -17,6 +17,8 @@ import (
 	"ehdl/internal/device"
 	"ehdl/internal/experiments"
 	"ehdl/internal/fixed"
+	"ehdl/internal/fleet"
+	"ehdl/internal/harvest"
 	"ehdl/internal/nn"
 	"ehdl/internal/quant"
 )
@@ -298,6 +300,89 @@ func BenchmarkHostThroughput(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inf/s")
 		})
 	}
+}
+
+// BenchmarkRecharge measures one full VOff→VOn recharge under weak
+// ambient sources (20–500 µW mean, sub-second to ~19 s of off-time),
+// analytic engine vs the retained Euler oracle. The closed-form path
+// costs O(profile segments) with whole periods skipped in one step;
+// the oracle pays one loop iteration per 100 µs of simulated off-time
+// — the wall-clock headroom that makes fleet sweeps and multi-hour
+// profiles tractable.
+func BenchmarkRecharge(b *testing.B) {
+	profiles := []struct {
+		name string
+		p    harvest.Profile
+	}{
+		{"const", harvest.ConstantProfile{Watts: 5e-4}},
+		{"square", harvest.SquareProfile{PeakWatts: 2e-3, Period: 2, Duty: 0.01}},
+		{"sine", harvest.SineProfile{PeakWatts: 2e-4, Period: 2}},
+	}
+	recharge := func(b *testing.B, p harvest.Profile, euler bool) {
+		b.Helper()
+		var off float64
+		for i := 0; i < b.N; i++ {
+			c, err := harvest.NewCapacitor(harvest.PaperConfig(), p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Draw(1e9, 1e-3) // 1 J: guaranteed brown-out
+			var ok bool
+			if euler {
+				off, ok = c.RechargeEuler(1e-4, 3600)
+			} else {
+				off, ok = c.Recharge()
+			}
+			if !ok {
+				b.Fatal("source reported dead")
+			}
+		}
+		b.ReportMetric(off, "sim-off-s")
+	}
+	for _, pr := range profiles {
+		pr := pr
+		b.Run("analytic/"+pr.name, func(b *testing.B) { recharge(b, pr.p, false) })
+		b.Run("euler/"+pr.name, func(b *testing.B) { recharge(b, pr.p, true) })
+	}
+}
+
+// BenchmarkFleet measures the fleet layer: a 32-device deployment of
+// the host model across all five runtimes and jittered square sources,
+// reported as simulated devices per second of host time.
+func BenchmarkFleet(b *testing.B) {
+	m, in := hostModel(b)
+	kinds := core.AllEngines()
+	scenarios := make([]fleet.Scenario, 32)
+	for i := range scenarios {
+		setup := core.PaperHarvestSetup()
+		// A small capacitor forces several power cycles per inference.
+		setup.Config.CapacitanceF = 10e-6
+		setup.Profile = harvest.SquareProfile{
+			PeakWatts: 4e-3 + 1e-4*float64(i%10),
+			Period:    0.1,
+			Duty:      0.5,
+		}
+		scenarios[i] = fleet.Scenario{
+			Name:   fmt.Sprintf("dev%02d", i),
+			Engine: kinds[i%len(kinds)],
+			Model:  m,
+			Input:  in,
+			Setup:  setup,
+		}
+	}
+	var rep fleet.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = fleet.Run(scenarios, 0)
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil && !r.Completed && r.Boots == 0 {
+			b.Fatalf("%s: %v", r.Name, r.Err)
+		}
+	}
+	b.ReportMetric(float64(len(scenarios))*float64(b.N)/b.Elapsed().Seconds(), "devices/s")
+	b.ReportMetric(100*rep.CompletionRate, "completion-%")
+	b.ReportMetric(float64(rep.TotalBoots), "boots")
 }
 
 // BenchmarkCheckpointOverhead regenerates §IV-A.5: FLEX's

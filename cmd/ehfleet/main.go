@@ -1,0 +1,162 @@
+// Command ehfleet simulates a deployment of energy-harvesting
+// devices: N independent nodes, each with its own capacitor, runtime
+// and (jittered) ambient profile, swept concurrently and folded into
+// one aggregate report — completion rate, boots, and simulated wall
+// time percentiles across the fleet.
+//
+// Usage:
+//
+//	ehfleet -model mnist.gob [-n 16] [-engine ace+flex] [-jitter 0.2]
+//	        [-profile square|sine|const|trace] [-power 5e-3]
+//	        [-period 0.1] [-duty 0.5] [-trace solar.csv] [-trace-repeat]
+//	        [-cap 100e-6] [-leak 0] [-workers 0] [-seed 1]
+//
+// -engine accepts one runtime, a comma-separated list cycled across
+// the fleet, or "all". -jitter spreads each device's peak power
+// uniformly in [power·(1−j), power·(1+j)], deterministically from
+// -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"ehdl/internal/core"
+	"ehdl/internal/dataset"
+	"ehdl/internal/fixed"
+	"ehdl/internal/fleet"
+	"ehdl/internal/harvest"
+	"ehdl/internal/quant"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ehfleet: ")
+
+	modelPath := flag.String("model", "", "model artifact from radtrain (required)")
+	n := flag.Int("n", 16, "number of devices in the fleet")
+	engines := flag.String("engine", "ace+flex", "runtime, comma-separated list, or \"all\"")
+	profile := flag.String("profile", "square", "harvest profile: square, sine, const, trace")
+	power := flag.Float64("power", 5e-3, "nominal peak harvested power in watts")
+	period := flag.Float64("period", 0.1, "profile period in seconds")
+	duty := flag.Float64("duty", 0.5, "square-wave duty cycle in (0, 1]")
+	tracePath := flag.String("trace", "", "harvesting trace CSV (with -profile trace)")
+	traceRepeat := flag.Bool("trace-repeat", false, "repeat the trace instead of holding its last value")
+	jitter := flag.Float64("jitter", 0.2, "per-device power spread fraction in [0, 1)")
+	capF := flag.Float64("cap", 100e-6, "capacitance in farads")
+	leak := flag.Float64("leak", 0, "parasitic leakage in watts")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "dataset and jitter seed")
+	flag.Parse()
+
+	if *modelPath == "" {
+		log.Fatal("-model is required")
+	}
+	if *jitter < 0 || *jitter >= 1 {
+		log.Fatalf("-jitter must be in [0, 1), got %g", *jitter)
+	}
+	m, err := quant.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := datasetFor(m.Name, *seed)
+
+	kinds, err := parseEngines(*engines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var baseTrace *harvest.TraceProfile
+	if *profile == "trace" {
+		if *tracePath == "" {
+			log.Fatal("-profile trace requires -trace FILE")
+		}
+		baseTrace, err = harvest.LoadTraceFile(*tracePath, *traceRepeat)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := harvest.PaperConfig()
+	cfg.CapacitanceF = *capF
+	cfg.LeakageW = *leak
+
+	rng := rand.New(rand.NewSource(*seed))
+	scenarios := make([]fleet.Scenario, *n)
+	for i := range scenarios {
+		scale := 1 + *jitter*(2*rng.Float64()-1)
+		var prof harvest.Profile
+		switch *profile {
+		case "square":
+			prof, err = harvest.NewSquareProfile(*power*scale, *period, *duty)
+		case "sine":
+			prof, err = harvest.NewSineProfile(*power*scale, *period)
+		case "const":
+			prof, err = harvest.NewConstantProfile(*power * scale)
+		case "trace":
+			prof, err = baseTrace.Scale(scale)
+		default:
+			log.Fatalf("unknown profile %q", *profile)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := set.Test[i%len(set.Test)]
+		scenarios[i] = fleet.Scenario{
+			Name:   fmt.Sprintf("dev%02d", i),
+			Engine: kinds[i%len(kinds)],
+			Model:  m,
+			Input:  fixed.FromFloats(s.Input),
+			Setup:  core.HarvestSetup{Config: cfg, Profile: prof},
+		}
+	}
+
+	rep := fleet.Run(scenarios, *workers)
+	fmt.Printf("model: %s   profile: %s %.1f mW ±%.0f%%   cap: %.0f uF\n",
+		m.Name, *profile, *power*1e3, *jitter*100, *capF*1e6)
+	fmt.Print(fleet.RenderReport(rep))
+}
+
+// parseEngines expands the -engine flag into a runtime cycle.
+func parseEngines(s string) ([]core.EngineKind, error) {
+	if s == "all" {
+		return core.AllEngines(), nil
+	}
+	var kinds []core.EngineKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind := core.EngineKind(part)
+		known := false
+		for _, k := range core.AllEngines() {
+			if k == kind {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown engine %q", part)
+		}
+		kinds = append(kinds, kind)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no engines in %q", s)
+	}
+	return kinds, nil
+}
+
+func datasetFor(name string, seed int64) *dataset.Set {
+	switch name {
+	case "mnist", "mnist-dense":
+		return dataset.MNIST(1, 64, seed)
+	case "har", "har-dense":
+		return dataset.HAR(1, 64, seed)
+	case "okg", "okg-dense":
+		return dataset.OKG(1, 64, seed)
+	}
+	log.Fatalf("model %q has no matching dataset", name)
+	return nil
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ehsim -model mnist.gob [-engine ace+flex] [-cap 100e-6]
-//	      [-profile square|sine|const] [-power 5e-3] [-period 0.1]
+//	      [-profile square|sine|const|trace] [-power 5e-3] [-period 0.1]
+//	      [-duty 0.5] [-trace solar.csv] [-trace-repeat] [-leak 0]
 package main
 
 import (
@@ -28,9 +29,13 @@ func main() {
 	modelPath := flag.String("model", "", "model artifact from radtrain (required)")
 	engine := flag.String("engine", "ace+flex", "runtime: base, sonic, tails, ace, ace+flex")
 	capF := flag.Float64("cap", 100e-6, "capacitance in farads")
-	profile := flag.String("profile", "square", "harvest profile: square, sine, const")
+	profile := flag.String("profile", "square", "harvest profile: square, sine, const, trace")
 	power := flag.Float64("power", 5e-3, "peak harvested power in watts")
 	period := flag.Float64("period", 0.1, "profile period in seconds")
+	duty := flag.Float64("duty", 0.5, "square-wave duty cycle in (0, 1]")
+	tracePath := flag.String("trace", "", "harvesting trace CSV (with -profile trace)")
+	traceRepeat := flag.Bool("trace-repeat", false, "repeat the trace instead of holding its last value")
+	leak := flag.Float64("leak", 0, "parasitic leakage in watts")
 	sample := flag.Int("sample", 0, "test-set sample index")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	flag.Parse()
@@ -48,16 +53,25 @@ func main() {
 	var prof harvest.Profile
 	switch *profile {
 	case "square":
-		prof = harvest.SquareProfile{PeakWatts: *power, Period: *period, Duty: 0.5}
+		prof, err = harvest.NewSquareProfile(*power, *period, *duty)
 	case "sine":
-		prof = harvest.SineProfile{PeakWatts: *power, Period: *period}
+		prof, err = harvest.NewSineProfile(*power, *period)
 	case "const":
-		prof = harvest.ConstantProfile{Watts: *power}
+		prof, err = harvest.NewConstantProfile(*power)
+	case "trace":
+		if *tracePath == "" {
+			log.Fatal("-profile trace requires -trace FILE")
+		}
+		prof, err = harvest.LoadTraceFile(*tracePath, *traceRepeat)
 	default:
 		log.Fatalf("unknown profile %q", *profile)
 	}
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := harvest.PaperConfig()
 	cfg.CapacitanceF = *capF
+	cfg.LeakageW = *leak
 
 	setup := core.HarvestSetup{Config: cfg, Profile: prof}
 	rep, err := core.InferIntermittent(core.EngineKind(*engine), m, fixed.FromFloats(s.Input), setup)

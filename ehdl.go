@@ -21,6 +21,7 @@ import (
 	"ehdl/internal/dataset"
 	"ehdl/internal/exec"
 	"ehdl/internal/fixed"
+	"ehdl/internal/fleet"
 	"ehdl/internal/nn"
 	"ehdl/internal/quant"
 	"ehdl/internal/rad"
@@ -109,3 +110,21 @@ func PaperHarvest() Harvest { return core.PaperHarvestSetup() }
 func InferHarvested(engine Engine, m *Model, input []float64, h Harvest) (Report, error) {
 	return core.InferIntermittent(engine, m, fixed.FromFloats(input), h)
 }
+
+// FleetScenario is one device of a simulated deployment: a model
+// inference under one harvesting setup on one runtime.
+type FleetScenario = fleet.Scenario
+
+// FleetReport aggregates a fleet run: ordered per-device results plus
+// completion rate, boots, and simulated wall-time percentiles.
+type FleetReport = fleet.Report
+
+// RunFleet sweeps the scenarios concurrently over at most workers
+// goroutines (<= 0: GOMAXPROCS); results are deterministic and in
+// scenario order regardless of scheduling.
+func RunFleet(scenarios []FleetScenario, workers int) FleetReport {
+	return fleet.Run(scenarios, workers)
+}
+
+// RenderFleetReport formats a fleet report for terminals.
+func RenderFleetReport(r FleetReport) string { return fleet.RenderReport(r) }

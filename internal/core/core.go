@@ -104,6 +104,11 @@ func PaperHarvestSetup() HarvestSetup {
 }
 
 // InferIntermittent measures one inference under harvested power.
+// Off-time between power failures is solved by harvest's analytic
+// engine (closed form per profile segment, no integration horizon);
+// malformed profiles — zero duty cycle, non-positive period, negative
+// power — are rejected here by the capacitor's profile validation
+// instead of spinning the simulation.
 func InferIntermittent(kind EngineKind, m *quant.Model, input []fixed.Q15, setup HarvestSetup) (exec.Report, error) {
 	supply, err := harvest.NewCapacitor(setup.Config, setup.Profile)
 	if err != nil {

@@ -37,7 +37,10 @@ type Supply interface {
 	Voltage() float64
 	// Recharge simulates device-off time until the supply can power a
 	// boot again. It returns the off-time in seconds and false if the
-	// supply can never recover (e.g. harvesting stopped).
+	// supply can never recover (e.g. harvesting stopped). A false
+	// return must be a verdict about the source, not a search-budget
+	// artifact: harvest.Capacitor decides it analytically from the
+	// profile's per-period energy versus its leakage.
 	Recharge() (offTime float64, ok bool)
 }
 

@@ -9,7 +9,6 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
 	"sync"
 
@@ -18,6 +17,7 @@ import (
 	"ehdl/internal/dataset"
 	"ehdl/internal/device"
 	"ehdl/internal/fixed"
+	"ehdl/internal/fleet"
 	"ehdl/internal/nn"
 	"ehdl/internal/quant"
 	"ehdl/internal/rad"
@@ -235,33 +235,16 @@ type Fig7Row struct {
 
 // Fig7 measures every engine on every task under both supplies. Every
 // (task, engine) cell simulates its own independent device, so the
-// sweep runs over a bounded worker pool; the row order (tasks outer,
-// engines inner) and every device number are identical to a serial
-// sweep.
+// sweep runs over the fleet layer's bounded worker pool; the row order
+// (tasks outer, engines inner) and every device number are identical
+// to a serial sweep.
 func Fig7(tasks []*Task) ([]Fig7Row, error) {
 	kinds := core.AllEngines()
 	rows := make([]Fig7Row, len(tasks)*len(kinds))
 	errs := make([]error, len(rows))
-	jobs := make(chan int)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(rows) {
-		workers = len(rows)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				errs[idx] = fig7Cell(&rows[idx], tasks[idx/len(kinds)], kinds[idx%len(kinds)])
-			}
-		}()
-	}
-	for idx := range rows {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
+	fleet.ForEach(len(rows), 0, func(idx int) {
+		errs[idx] = fig7Cell(&rows[idx], tasks[idx/len(kinds)], kinds[idx%len(kinds)])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,190 @@
+// Package fleet simulates a deployment of energy-harvesting devices:
+// N independent (device, engine, harvesting profile) scenarios run
+// concurrently over a bounded worker pool and are folded into one
+// deterministic aggregate report — completion rate, boot counts, and
+// simulated-wall-time percentiles across the fleet. Every scenario
+// owns its simulated device, so results are bit-identical to a serial
+// sweep regardless of scheduling, and the per-scenario rows come back
+// in scenario order.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ehdl/internal/core"
+	"ehdl/internal/fixed"
+	"ehdl/internal/quant"
+)
+
+// Scenario is one device of the fleet: a model inference under one
+// harvesting setup on one runtime.
+type Scenario struct {
+	Name   string
+	Engine core.EngineKind
+	Model  *quant.Model
+	Input  []fixed.Q15
+	Setup  core.HarvestSetup
+}
+
+// Result is the outcome of one scenario.
+type Result struct {
+	Name      string
+	Engine    core.EngineKind
+	Completed bool
+	// Predicted is the argmax class on completion, -1 otherwise.
+	Predicted int
+	Boots     uint64
+	ActiveSec float64 // simulated compute time
+	WallSec   float64 // simulated compute + recharge time
+	EnergymJ  float64
+	// Err is the intermittent sentinel on a DNF, or a setup error.
+	Err error
+}
+
+// Report aggregates a fleet run.
+type Report struct {
+	// Results holds one row per scenario, in scenario order.
+	Results []Result
+
+	Devices        int
+	Completed      int
+	CompletionRate float64 // Completed / Devices
+	TotalBoots     uint64
+
+	// Simulated wall-time percentiles across all devices
+	// (nearest-rank over completed and DNF runs alike).
+	WallP50Sec float64
+	WallP90Sec float64
+	WallP99Sec float64
+
+	// HostSeconds is the real time the sweep took.
+	HostSeconds float64
+}
+
+// ForEach runs fn(0..n-1) over a bounded worker pool and returns when
+// every call finished. workers <= 0 selects GOMAXPROCS. fn must be
+// safe to call concurrently for distinct indices; writing only to
+// per-index slots keeps the overall computation deterministic.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Run executes every scenario over a pool of at most workers
+// goroutines (<= 0: GOMAXPROCS) and aggregates the fleet report.
+// Scenario failures (bad profile, model/input mismatch, DNF) land in
+// the per-scenario Err field; they do not abort the rest of the fleet.
+func Run(scenarios []Scenario, workers int) Report {
+	start := time.Now()
+	rep := Report{
+		Results: make([]Result, len(scenarios)),
+		Devices: len(scenarios),
+	}
+	ForEach(len(scenarios), workers, func(i int) {
+		rep.Results[i] = runOne(scenarios[i])
+	})
+	rep.HostSeconds = time.Since(start).Seconds()
+
+	walls := make([]float64, 0, len(rep.Results))
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		rep.TotalBoots += r.Boots
+		if r.Completed {
+			rep.Completed++
+		}
+		walls = append(walls, r.WallSec)
+	}
+	if rep.Devices > 0 {
+		rep.CompletionRate = float64(rep.Completed) / float64(rep.Devices)
+		sort.Float64s(walls)
+		rep.WallP50Sec = percentile(walls, 50)
+		rep.WallP90Sec = percentile(walls, 90)
+		rep.WallP99Sec = percentile(walls, 99)
+	}
+	return rep
+}
+
+// runOne executes a single scenario on its own simulated device.
+func runOne(s Scenario) Result {
+	res := Result{Name: s.Name, Engine: s.Engine, Predicted: -1}
+	if s.Model == nil {
+		res.Err = fmt.Errorf("fleet: scenario %q has no model", s.Name)
+		return res
+	}
+	rep, err := core.InferIntermittent(s.Engine, s.Model, s.Input, s.Setup)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Completed = rep.Intermittent.Completed
+	res.Predicted = rep.Predicted
+	res.Boots = rep.Intermittent.Boots
+	res.ActiveSec = rep.Stats.ActiveSeconds
+	res.WallSec = rep.Stats.WallSeconds
+	res.EnergymJ = rep.Stats.EnergymJ()
+	res.Err = rep.Intermittent.Err
+	return res
+}
+
+// percentile is the nearest-rank percentile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// RenderReport formats the fleet aggregate plus one row per device.
+func RenderReport(r Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d devices, %d completed (%.1f%%), %d boots total\n",
+		r.Devices, r.Completed, 100*r.CompletionRate, r.TotalBoots)
+	fmt.Fprintf(&b, "wall(sim): p50 %.1f ms  p90 %.1f ms  p99 %.1f ms   host: %.2f s\n",
+		r.WallP50Sec*1e3, r.WallP90Sec*1e3, r.WallP99Sec*1e3, r.HostSeconds)
+	fmt.Fprintf(&b, "%-12s %-10s %-8s %7s %12s %12s %10s\n",
+		"device", "engine", "status", "boots", "active(ms)", "wall(ms)", "energy(mJ)")
+	for _, res := range r.Results {
+		status := "ok"
+		if !res.Completed {
+			status = "X"
+		}
+		fmt.Fprintf(&b, "%-12s %-10s %-8s %7d %12.1f %12.1f %10.3f\n",
+			res.Name, res.Engine, status, res.Boots, res.ActiveSec*1e3, res.WallSec*1e3, res.EnergymJ)
+	}
+	return b.String()
+}

@@ -9,6 +9,15 @@
 // 100 µF, 3.3 V / 1.8 V configuration. Any inference needing more than
 // that must either checkpoint or never complete: Fig. 7(b)'s "X"
 // columns fall directly out of this arithmetic.
+//
+// Off-time (recharge) simulation is event-driven: every built-in
+// profile implements Analytic, so charge and discharge are solved in
+// closed form per profile segment instead of being integrated with a
+// fixed timestep, and "the source is dead" is an analytic property of
+// the profile (net energy per period at or below the leakage budget)
+// rather than a wall-clock search horizon. The seed's fixed-step Euler
+// integrator is retained as RechargeEuler, the oracle the analytic
+// engine is validated against.
 package harvest
 
 import (
@@ -17,16 +26,41 @@ import (
 )
 
 // Profile supplies the harvested power (in watts) as a function of
-// absolute time. Implementations must be deterministic.
+// absolute time. Implementations must be deterministic. Profiles that
+// also implement Analytic get the event-driven engine in Draw and
+// Recharge; plain Profiles fall back to fixed-step integration.
 type Profile interface {
 	// PowerAt returns the instantaneous harvested power at time t
 	// seconds.
 	PowerAt(t float64) float64
 }
 
+// Validator is implemented by profiles that can check their own
+// parameters. NewCapacitor rejects profiles whose Validate fails, so a
+// malformed profile (zero duty cycle, negative power, zero period) is
+// an immediate construction error instead of a simulation that spins
+// forever waiting for energy that never comes.
+type Validator interface {
+	Validate() error
+}
+
 // ConstantProfile harvests a fixed power, the simplest bench setting.
 type ConstantProfile struct {
 	Watts float64
+}
+
+// NewConstantProfile returns a validated constant profile.
+func NewConstantProfile(watts float64) (ConstantProfile, error) {
+	p := ConstantProfile{Watts: watts}
+	return p, p.Validate()
+}
+
+// Validate implements Validator.
+func (p ConstantProfile) Validate() error {
+	if math.IsNaN(p.Watts) || math.IsInf(p.Watts, 0) || p.Watts < 0 {
+		return fmt.Errorf("harvest: constant profile needs finite Watts >= 0, got %g", p.Watts)
+	}
+	return nil
 }
 
 // PowerAt returns the constant power.
@@ -39,6 +73,33 @@ type SquareProfile struct {
 	PeakWatts float64
 	Period    float64 // seconds
 	Duty      float64 // fraction of the period with power, in (0, 1]
+}
+
+// NewSquareProfile returns a validated square-wave profile.
+func NewSquareProfile(peakWatts, period, duty float64) (SquareProfile, error) {
+	p := SquareProfile{PeakWatts: peakWatts, Period: period, Duty: duty}
+	return p, p.Validate()
+}
+
+// Validate implements Validator: Duty ∈ (0, 1], Period > 0 and
+// non-negative peak power.
+func (p SquareProfile) Validate() error {
+	if math.IsNaN(p.PeakWatts) || math.IsInf(p.PeakWatts, 0) || p.PeakWatts < 0 {
+		return fmt.Errorf("harvest: square profile needs finite PeakWatts >= 0, got %g", p.PeakWatts)
+	}
+	if !(p.Period > 0) || math.IsInf(p.Period, 0) {
+		return fmt.Errorf("harvest: square profile needs finite Period > 0, got %g", p.Period)
+	}
+	if !(p.Duty > 0 && p.Duty <= 1) {
+		return fmt.Errorf("harvest: square profile needs Duty in (0, 1], got %g", p.Duty)
+	}
+	return nil
+}
+
+// duty returns the duty cycle clamped to [0, 1] (unvalidated literals
+// may carry anything).
+func (p SquareProfile) duty() float64 {
+	return math.Min(1, math.Max(0, p.Duty))
 }
 
 // PowerAt returns PeakWatts during the on-phase of each period.
@@ -60,6 +121,23 @@ type SineProfile struct {
 	Period    float64
 }
 
+// NewSineProfile returns a validated rectified-sine profile.
+func NewSineProfile(peakWatts, period float64) (SineProfile, error) {
+	p := SineProfile{PeakWatts: peakWatts, Period: period}
+	return p, p.Validate()
+}
+
+// Validate implements Validator.
+func (p SineProfile) Validate() error {
+	if math.IsNaN(p.PeakWatts) || math.IsInf(p.PeakWatts, 0) || p.PeakWatts < 0 {
+		return fmt.Errorf("harvest: sine profile needs finite PeakWatts >= 0, got %g", p.PeakWatts)
+	}
+	if !(p.Period > 0) || math.IsInf(p.Period, 0) {
+		return fmt.Errorf("harvest: sine profile needs finite Period > 0, got %g", p.Period)
+	}
+	return nil
+}
+
 // PowerAt returns the rectified sine power at t.
 func (p SineProfile) PowerAt(t float64) float64 {
 	if p.Period <= 0 {
@@ -74,10 +152,15 @@ type Config struct {
 	VOn          float64 // boot threshold, e.g. 3.3
 	VOff         float64 // brown-out threshold, e.g. 1.8
 	VMax         float64 // clamp (harvester regulator), e.g. 3.6
+	// LeakageW is a constant parasitic drain (capacitor self-discharge
+	// plus sleep current), subtracted from the harvested power at all
+	// times. Zero — the paper's idealisation — by default. A source
+	// whose average power cannot beat the leakage can never recharge.
+	LeakageW float64
 }
 
 // PaperConfig returns the paper's experimental configuration: 100 µF,
-// 3.3 V turn-on, 1.8 V brown-out, 3.6 V clamp.
+// 3.3 V turn-on, 1.8 V brown-out, 3.6 V clamp, no leakage.
 func PaperConfig() Config {
 	return Config{CapacitanceF: 100e-6, VOn: 3.3, VOff: 1.8, VMax: 3.6}
 }
@@ -96,13 +179,24 @@ type Capacitor struct {
 }
 
 // NewCapacitor returns a capacitor charged to VOn at t=0 under the
-// given profile.
+// given profile. Profiles implementing Validator are validated here.
 func NewCapacitor(cfg Config, profile Profile) (*Capacitor, error) {
 	if cfg.CapacitanceF <= 0 {
 		return nil, fmt.Errorf("harvest: capacitance must be positive, got %g", cfg.CapacitanceF)
 	}
 	if !(cfg.VMax >= cfg.VOn && cfg.VOn > cfg.VOff && cfg.VOff > 0) {
 		return nil, fmt.Errorf("harvest: need VMax >= VOn > VOff > 0, got %+v", cfg)
+	}
+	if cfg.LeakageW < 0 || math.IsNaN(cfg.LeakageW) || math.IsInf(cfg.LeakageW, 0) {
+		return nil, fmt.Errorf("harvest: leakage must be finite and >= 0, got %g", cfg.LeakageW)
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("harvest: profile must not be nil")
+	}
+	if v, ok := profile.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return &Capacitor{
 		cfg:     cfg,
@@ -123,8 +217,12 @@ func (c *Capacitor) Voltage() float64 {
 // Now returns the absolute simulation time in seconds.
 func (c *Capacitor) Now() float64 { return c.nowSec }
 
-// HarvestedJ returns the lifetime harvested energy in joules.
+// HarvestedJ returns the lifetime harvested energy in joules (gross:
+// energy wasted to the VMax clamp or lost to leakage is included).
 func (c *Capacitor) HarvestedJ() float64 { return c.harvestedJ }
+
+// EnergyJ returns the currently stored energy in joules.
+func (c *Capacitor) EnergyJ() float64 { return c.energyJ }
 
 // Draw implements device.Supply: consume nJ nanojoules over dt seconds
 // while harvesting in parallel. Returns false when the voltage falls
@@ -146,42 +244,41 @@ func (c *Capacitor) Draw(nJ float64, dt float64) bool {
 }
 
 // Recharge implements device.Supply: advance off-time until the
-// capacitor reaches VOn again. Returns false if the profile cannot
-// deliver (zero power for an entire period, forever): detected by a
-// bounded search horizon.
+// capacitor reaches VOn again. For Analytic profiles (all built-ins)
+// the off-time is solved in closed form per profile segment and the
+// return of false is an analytic verdict — the profile's net power can
+// never lift the store to VOn — with no search horizon. Plain Profiles
+// fall back to the fixed-step integrator with the seed's 3600 s
+// horizon, which can misreport a slow-but-charging custom source as
+// dead; implement Analytic to avoid that.
 func (c *Capacitor) Recharge() (float64, bool) {
-	target := c.energyAt(c.cfg.VOn)
-	const step = 1e-4 // 100 µs integration step while off
-	const horizon = 3600.0
-	var off float64
-	for c.energyJ < target {
-		p := c.profile.PowerAt(c.nowSec)
-		c.energyJ += p * step
-		if vmax := c.energyAt(c.cfg.VMax); c.energyJ > vmax {
-			c.energyJ = vmax
-		}
-		c.harvestedJ += p * step
-		c.nowSec += step
-		off += step
-		if off > horizon {
-			return off, false
-		}
+	if ap, ok := c.profile.(Analytic); ok {
+		return c.rechargeAnalytic(ap)
 	}
-	return off, true
+	return c.RechargeEuler(eulerStep, eulerHorizon)
 }
 
+// integrateHarvest accrues harvested energy over dt seconds of device
+// activity: exactly (closed form) for Analytic profiles, in a single
+// power-at-window-start step otherwise.
 func (c *Capacitor) integrateHarvest(dt float64) {
 	if dt <= 0 {
 		return
 	}
-	// During short active draws the profile is effectively constant;
-	// integrate in a single step but clamp at VMax.
-	p := c.profile.PowerAt(c.nowSec)
-	c.energyJ += p * dt
+	var gross float64
+	if ap, ok := c.profile.(Analytic); ok {
+		gross = ap.EnergyBetween(c.nowSec, c.nowSec+dt)
+	} else {
+		gross = c.profile.PowerAt(c.nowSec) * dt
+	}
+	c.energyJ += gross - c.cfg.LeakageW*dt
+	if c.energyJ < 0 {
+		c.energyJ = 0
+	}
 	if vmax := c.energyAt(c.cfg.VMax); c.energyJ > vmax {
 		c.energyJ = vmax
 	}
-	c.harvestedJ += p * dt
+	c.harvestedJ += gross
 }
 
 // UsableEnergyJ returns the energy budget of one full charge cycle,

@@ -10,6 +10,24 @@
 // if one inference needs more energy than a full capacitor holds, it
 // can never complete — the runner detects the stagnation and reports
 // a DNF, reproducing the "X" entries of Fig. 7(b).
+//
+// Stagnation is detected two ways. Programs implementing
+// ProgressReporter are declared stuck after StagnationLimit
+// consecutive boots whose progress counter did not advance. Programs
+// that do not report progress are watched at the supply level: every
+// failed boot is by construction a full-capacitor discharge (VOn down
+// to brown-out), and when StagnationLimit consecutive discharges
+// charge an identical number of active cycles, the program is treated
+// as repeating identical work and declared stuck. The cycle
+// fingerprint cannot tell re-executed work from new work of identical
+// shape: a checkpointing program with a regular per-boot cost (the
+// common case — a fixed energy budget buys the same op count every
+// cycle) is misdetected once it needs more than StagnationLimit
+// boots. Reporterless programs expecting long multi-boot runs MUST
+// either implement ProgressReporter (all in-repo engines do) or set
+// Runner.AssumeProgress; the heuristic exists so that BASE-style
+// restart-from-scratch programs DNF in StagnationLimit boots instead
+// of burning the 10000-boot safety net.
 package intermittent
 
 import (
@@ -28,13 +46,16 @@ type Program interface {
 
 // ProgressReporter lets the runner observe forward progress (any
 // monotonically non-decreasing counter, e.g. FLEX's commit sequence).
-// Programs that implement it get fast stagnation detection.
+// Programs that implement it get exact stagnation detection instead of
+// the full-discharge fingerprint heuristic.
 type ProgressReporter interface {
 	Progress() uint64
 }
 
 // ErrStagnant is wrapped in Result.Err when the program made no
-// persistent progress for StagnationLimit consecutive boots.
+// persistent progress for StagnationLimit consecutive boots — either
+// its reported progress counter froze, or (without a reporter) it kept
+// burning identical full-capacitor discharges.
 var ErrStagnant = errors.New("intermittent: no forward progress across boots")
 
 // ErrExhausted is wrapped in Result.Err when the supply could not
@@ -62,9 +83,16 @@ type Runner struct {
 	// Zero means the default of 10000.
 	MaxBoots uint64
 	// StagnationLimit is the number of consecutive boots without
-	// progress after which a ProgressReporter program is declared
-	// stuck. Zero means the default of 8.
+	// progress after which a program is declared stuck. Zero means the
+	// default of 8.
 	StagnationLimit int
+	// AssumeProgress disables the full-discharge fingerprint heuristic
+	// for programs that do not implement ProgressReporter, leaving
+	// MaxBoots as their only DNF detector. REQUIRED for reporterless
+	// checkpointing programs that need more than StagnationLimit
+	// boots: their regular per-boot discharges are indistinguishable
+	// from a restart-from-scratch loop (see the package doc).
+	AssumeProgress bool
 }
 
 // Run drives p on d until completion, stagnation, exhaustion, or the
@@ -84,7 +112,15 @@ func (r *Runner) Run(d *device.Device, p Program) Result {
 	stagnant := 0
 	reporter, hasProgress := p.(ProgressReporter)
 
+	// Fingerprint of the previous failed boot's discharge, for the
+	// reporterless heuristic: active cycles are charged deterministic
+	// amounts per operation, so equal deltas mean the boot re-executed
+	// the same op sequence before browning out at the same point.
+	var lastCycles uint64
+	haveFingerprint := false
+
 	for {
+		cyclesBefore := d.Stats().ActiveCycles
 		err, failed := bootOnce(d, p)
 		if !failed {
 			res.Completed = err == nil
@@ -107,6 +143,24 @@ func (r *Runner) Run(d *device.Device, p Program) Result {
 			} else {
 				stagnant = 0
 				lastProgress = cur
+			}
+		} else if !r.AssumeProgress {
+			// Every failed boot consumed the entire usable budget; when
+			// the discharges are identical the program is restarting
+			// the same work from scratch.
+			cycles := d.Stats().ActiveCycles - cyclesBefore
+			if haveFingerprint && cycles == lastCycles {
+				stagnant++
+			} else {
+				stagnant = 1
+				lastCycles = cycles
+				haveFingerprint = true
+			}
+			if stagnant >= stagLimit {
+				res.Err = fmt.Errorf("%w (%d identical %d-cycle discharges, no progress reporter)",
+					ErrStagnant, stagnant, lastCycles)
+				res.Boots = d.Stats().Boots
+				return res
 			}
 		}
 		if d.Stats().Boots >= maxBoots {

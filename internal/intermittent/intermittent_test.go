@@ -203,6 +203,85 @@ func TestProgramErrorReturned(t *testing.T) {
 	}
 }
 
+// silentVolatileProgram is BASE-like but does NOT implement
+// ProgressReporter: the runner can only watch its discharges.
+type silentVolatileProgram struct {
+	totalOps int
+}
+
+func (p *silentVolatileProgram) Boot(d *device.Device) error {
+	for i := 0; i < p.totalOps; i += 100 {
+		d.CPUOps(100)
+	}
+	return nil
+}
+
+// silentChunkProgram checkpoints through FRAM but reports nothing.
+type silentChunkProgram struct {
+	pos         device.NVWord
+	totalChunks uint64
+	chunkOps    int
+}
+
+func (p *silentChunkProgram) Boot(d *device.Device) error {
+	for {
+		i := p.pos.Read(d, device.CatRestore)
+		if i >= p.totalChunks {
+			return nil
+		}
+		d.CPUOps(p.chunkOps)
+		p.pos.Write(d, device.CatCheckpoint, i+1)
+	}
+}
+
+func TestNonReporterStagnationDetected(t *testing.T) {
+	// The package doc promises DNF detection for BASE-style programs;
+	// without a ProgressReporter the runner must still catch the
+	// repeated identical full-capacitor discharges well before the
+	// 10000-boot safety net.
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	p := &silentVolatileProgram{totalOps: 10_000_000}
+	res := (&Runner{}).Run(d, p)
+	if res.Completed {
+		t.Fatal("silent volatile program cannot complete on this budget")
+	}
+	if !errors.Is(res.Err, ErrStagnant) {
+		t.Fatalf("err = %v, want ErrStagnant", res.Err)
+	}
+	if res.Boots > 10 {
+		t.Errorf("took %d boots to detect reporterless stagnation", res.Boots)
+	}
+}
+
+func TestNonReporterCheckpointerCompletes(t *testing.T) {
+	// A silent checkpointing program that needs fewer boots than
+	// StagnationLimit must not be misdetected.
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	p := &silentChunkProgram{totalChunks: 12, chunkOps: 100000}
+	res := (&Runner{}).Run(d, p)
+	if !res.Completed {
+		t.Fatalf("silent checkpointer did not complete: %+v", res)
+	}
+	if p.pos.Peek() != 12 {
+		t.Errorf("final position = %d, want 12", p.pos.Peek())
+	}
+}
+
+func TestAssumeProgressDisablesFingerprint(t *testing.T) {
+	cap := paperCap(t, 5e-3)
+	d := device.New(device.DefaultCosts(), cap)
+	p := &silentVolatileProgram{totalOps: 10_000_000}
+	res := (&Runner{MaxBoots: 20, AssumeProgress: true}).Run(d, p)
+	if res.Completed {
+		t.Fatal("cannot complete")
+	}
+	if !errors.Is(res.Err, ErrBootLimit) {
+		t.Fatalf("err = %v, want ErrBootLimit (heuristic should be off)", res.Err)
+	}
+}
+
 func TestWastedWorkBounded(t *testing.T) {
 	// With per-chunk commits, re-executed work per outage is at most
 	// one chunk: total charged ops <= chunks*chunkOps + boots*(chunkOps+overhead).

@@ -12,11 +12,10 @@ import (
 	"fmt"
 	"log"
 
+	"ehdl/internal/cli"
 	"ehdl/internal/core"
-	"ehdl/internal/dataset"
 	"ehdl/internal/device"
 	"ehdl/internal/fixed"
-	"ehdl/internal/quant"
 )
 
 func main() {
@@ -32,18 +31,24 @@ func main() {
 	if *modelPath == "" {
 		log.Fatal("-model is required")
 	}
-	m, err := quant.LoadFile(*modelPath)
+	m, err := cli.LoadModel(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := cli.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := cli.DatasetFor(m, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := cli.Sample(set, *sample)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	set := datasetFor(m.Name, *seed)
-	if *sample >= len(set.Test) {
-		log.Fatalf("sample %d out of range (%d test samples)", *sample, len(set.Test))
-	}
-	s := set.Test[*sample]
-
-	rep, err := core.InferContinuous(core.EngineKind(*engine), m, fixed.FromFloats(s.Input))
+	rep, err := core.InferContinuous(kind, m, fixed.FromFloats(s.Input))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,17 +64,4 @@ func main() {
 			fmt.Printf("  %-11s %10.1f uJ\n", c, rep.Stats.Energy[c]*1e-3)
 		}
 	}
-}
-
-func datasetFor(name string, seed int64) *dataset.Set {
-	switch name {
-	case "mnist", "mnist-dense":
-		return dataset.MNIST(1, 64, seed)
-	case "har", "har-dense":
-		return dataset.HAR(1, 64, seed)
-	case "okg", "okg-dense":
-		return dataset.OKG(1, 64, seed)
-	}
-	log.Fatalf("model %q has no matching dataset", name)
-	return nil
 }

@@ -10,11 +10,18 @@
 //	        [-profile square|sine|const|trace] [-power 5e-3]
 //	        [-period 0.1] [-duty 0.5] [-trace solar.csv] [-trace-repeat]
 //	        [-cap 100e-6] [-leak 0] [-workers 0] [-seed 1]
+//	ehfleet -scenarios fleet.json [-workers 0] [-seed 1]
 //
-// -engine accepts one runtime, a comma-separated list cycled across
-// the fleet, or "all". -jitter spreads each device's peak power
-// uniformly in [power·(1−j), power·(1+j)], deterministically from
-// -seed.
+// The first form builds a homogeneous fleet from flags: -engine
+// accepts one runtime, a comma-separated list cycled across the
+// fleet, or "all"; -jitter spreads each device's peak power uniformly
+// in [power·(1−j), power·(1+j)], deterministically from -seed.
+//
+// The second form expands a declarative scenario file: a JSON
+// document of heterogeneous (engine × capacitance × profile/trace ×
+// model) device specs — see internal/cli.ScenarioFile for the schema
+// and examples/scenarios/ for a runnable example. Expansion is
+// deterministic for a given (file, seed) pair.
 package main
 
 import (
@@ -24,19 +31,19 @@ import (
 	"math/rand"
 	"strings"
 
+	"ehdl/internal/cli"
 	"ehdl/internal/core"
-	"ehdl/internal/dataset"
 	"ehdl/internal/fixed"
 	"ehdl/internal/fleet"
 	"ehdl/internal/harvest"
-	"ehdl/internal/quant"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ehfleet: ")
 
-	modelPath := flag.String("model", "", "model artifact from radtrain (required)")
+	modelPath := flag.String("model", "", "model artifact from radtrain (flag mode)")
+	scenarios := flag.String("scenarios", "", "declarative scenario file (JSON); replaces the fleet-shape flags")
 	n := flag.Int("n", 16, "number of devices in the fleet")
 	engines := flag.String("engine", "ace+flex", "runtime, comma-separated list, or \"all\"")
 	profile := flag.String("profile", "square", "harvest profile: square, sine, const, trace")
@@ -52,17 +59,43 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset and jitter seed")
 	flag.Parse()
 
+	if *scenarios != "" {
+		// The fleet shape comes entirely from the file; an explicitly
+		// set shape flag would be silently ignored, so reject it.
+		shapeFlags := map[string]bool{
+			"model": true, "n": true, "engine": true, "profile": true,
+			"power": true, "period": true, "duty": true, "trace": true,
+			"trace-repeat": true, "jitter": true, "cap": true, "leak": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if shapeFlags[f.Name] {
+				log.Fatalf("-%s has no effect with -scenarios (the scenario file declares the fleet shape)", f.Name)
+			}
+		})
+		fleetScenarios, err := cli.LoadScenarios(*scenarios, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := fleet.Run(fleetScenarios, *workers)
+		fmt.Printf("scenario file: %s   devices: %d\n", *scenarios, len(fleetScenarios))
+		fmt.Print(fleet.RenderReport(rep))
+		return
+	}
+
 	if *modelPath == "" {
-		log.Fatal("-model is required")
+		log.Fatal("-model or -scenarios is required")
 	}
 	if *jitter < 0 || *jitter >= 1 {
 		log.Fatalf("-jitter must be in [0, 1), got %g", *jitter)
 	}
-	m, err := quant.LoadFile(*modelPath)
+	m, err := cli.LoadModel(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	set := datasetFor(m.Name, *seed)
+	set, err := cli.DatasetFor(m, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	kinds, err := parseEngines(*engines)
 	if err != nil {
@@ -84,27 +117,18 @@ func main() {
 	cfg.LeakageW = *leak
 
 	rng := rand.New(rand.NewSource(*seed))
-	scenarios := make([]fleet.Scenario, *n)
-	for i := range scenarios {
+	fleetScenarios := make([]fleet.Scenario, *n)
+	for i := range fleetScenarios {
 		scale := 1 + *jitter*(2*rng.Float64()-1)
-		var prof harvest.Profile
-		switch *profile {
-		case "square":
-			prof, err = harvest.NewSquareProfile(*power*scale, *period, *duty)
-		case "sine":
-			prof, err = harvest.NewSineProfile(*power*scale, *period)
-		case "const":
-			prof, err = harvest.NewConstantProfile(*power * scale)
-		case "trace":
-			prof, err = baseTrace.Scale(scale)
-		default:
-			log.Fatalf("unknown profile %q", *profile)
-		}
+		prof, err := cli.BuildProfile(*profile, *power, *period, *duty, baseTrace, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := set.Test[i%len(set.Test)]
-		scenarios[i] = fleet.Scenario{
+		s, err := cli.Sample(set, i%len(set.Test))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleetScenarios[i] = fleet.Scenario{
 			Name:   fmt.Sprintf("dev%02d", i),
 			Engine: kinds[i%len(kinds)],
 			Model:  m,
@@ -113,7 +137,7 @@ func main() {
 		}
 	}
 
-	rep := fleet.Run(scenarios, *workers)
+	rep := fleet.Run(fleetScenarios, *workers)
 	fmt.Printf("model: %s   profile: %s %.1f mW ±%.0f%%   cap: %.0f uF\n",
 		m.Name, *profile, *power*1e3, *jitter*100, *capF*1e6)
 	fmt.Print(fleet.RenderReport(rep))
@@ -130,15 +154,9 @@ func parseEngines(s string) ([]core.EngineKind, error) {
 		if part == "" {
 			continue
 		}
-		kind := core.EngineKind(part)
-		known := false
-		for _, k := range core.AllEngines() {
-			if k == kind {
-				known = true
-			}
-		}
-		if !known {
-			return nil, fmt.Errorf("unknown engine %q", part)
+		kind, err := cli.ParseEngine(part)
+		if err != nil {
+			return nil, err
 		}
 		kinds = append(kinds, kind)
 	}
@@ -146,17 +164,4 @@ func parseEngines(s string) ([]core.EngineKind, error) {
 		return nil, fmt.Errorf("no engines in %q", s)
 	}
 	return kinds, nil
-}
-
-func datasetFor(name string, seed int64) *dataset.Set {
-	switch name {
-	case "mnist", "mnist-dense":
-		return dataset.MNIST(1, 64, seed)
-	case "har", "har-dense":
-		return dataset.HAR(1, 64, seed)
-	case "okg", "okg-dense":
-		return dataset.OKG(1, 64, seed)
-	}
-	log.Fatalf("model %q has no matching dataset", name)
-	return nil
 }

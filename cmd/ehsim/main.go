@@ -7,6 +7,12 @@
 //	ehsim -model mnist.gob [-engine ace+flex] [-cap 100e-6]
 //	      [-profile square|sine|const|trace] [-power 5e-3] [-period 0.1]
 //	      [-duty 0.5] [-trace solar.csv] [-trace-repeat] [-leak 0]
+//	      [-sample 0] [-seed 1]
+//
+// -sample selects the test-set input to run (the deterministic
+// datasets have 64 test samples; out-of-range indices are rejected
+// with the valid range). -seed drives the dataset generator and must
+// match the radtrain seed for the labels to be meaningful.
 package main
 
 import (
@@ -14,12 +20,11 @@ import (
 	"fmt"
 	"log"
 
+	"ehdl/internal/cli"
 	"ehdl/internal/core"
-	"ehdl/internal/dataset"
 	"ehdl/internal/device"
 	"ehdl/internal/fixed"
 	"ehdl/internal/harvest"
-	"ehdl/internal/quant"
 )
 
 func main() {
@@ -43,29 +48,33 @@ func main() {
 	if *modelPath == "" {
 		log.Fatal("-model is required")
 	}
-	m, err := quant.LoadFile(*modelPath)
+	m, err := cli.LoadModel(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	set := datasetFor(m.Name, *seed)
-	s := set.Test[*sample]
+	kind, err := cli.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := cli.DatasetFor(m, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := cli.Sample(set, *sample)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var prof harvest.Profile
-	switch *profile {
-	case "square":
-		prof, err = harvest.NewSquareProfile(*power, *period, *duty)
-	case "sine":
-		prof, err = harvest.NewSineProfile(*power, *period)
-	case "const":
-		prof, err = harvest.NewConstantProfile(*power)
-	case "trace":
+	var baseTrace *harvest.TraceProfile
+	if *profile == "trace" {
 		if *tracePath == "" {
 			log.Fatal("-profile trace requires -trace FILE")
 		}
-		prof, err = harvest.LoadTraceFile(*tracePath, *traceRepeat)
-	default:
-		log.Fatalf("unknown profile %q", *profile)
+		if baseTrace, err = harvest.LoadTraceFile(*tracePath, *traceRepeat); err != nil {
+			log.Fatal(err)
+		}
 	}
+	prof, err := cli.BuildProfile(*profile, *power, *period, *duty, baseTrace, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +83,7 @@ func main() {
 	cfg.LeakageW = *leak
 
 	setup := core.HarvestSetup{Config: cfg, Profile: prof}
-	rep, err := core.InferIntermittent(core.EngineKind(*engine), m, fixed.FromFloats(s.Input), setup)
+	rep, err := core.InferIntermittent(kind, m, fixed.FromFloats(s.Input), setup)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,17 +104,4 @@ func main() {
 		rep.Stats.Energy[device.CatCheckpoint]*1e-3,
 		rep.Stats.Energy[device.CatRestore]*1e-3,
 		rep.Stats.Energy[device.CatMonitor]*1e-3)
-}
-
-func datasetFor(name string, seed int64) *dataset.Set {
-	switch name {
-	case "mnist", "mnist-dense":
-		return dataset.MNIST(1, 64, seed)
-	case "har", "har-dense":
-		return dataset.HAR(1, 64, seed)
-	case "okg", "okg-dense":
-		return dataset.OKG(1, 64, seed)
-	}
-	log.Fatalf("model %q has no matching dataset", name)
-	return nil
 }

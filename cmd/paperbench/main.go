@@ -3,9 +3,14 @@
 // flags it runs everything at full scale (a few minutes, dominated by
 // training the three models).
 //
+// Trained models are reused across invocations through the
+// content-addressed model cache (-cache): retraining only happens when
+// the architecture, dataset parameters or training options change.
+//
 // Usage:
 //
-//	paperbench [-quick] [-table1] [-table2] [-fig7a] [-fig7b] [-fig7c] [-fig8] [-ckpt]
+//	paperbench [-quick] [-cache auto|off|DIR]
+//	           [-table1] [-table2] [-fig7a] [-fig7b] [-fig7c] [-fig8] [-ckpt]
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"log"
 	"os"
 
+	"ehdl/internal/artifact/cache"
 	"ehdl/internal/experiments"
 )
 
@@ -22,6 +28,8 @@ func main() {
 	log.SetPrefix("paperbench: ")
 
 	quick := flag.Bool("quick", false, "use reduced training budgets (for smoke runs)")
+	cacheDir := flag.String("cache", "auto",
+		"trained-model cache: auto (default location, $EHDL_MODEL_CACHE), off, or a directory")
 	t1 := flag.Bool("table1", false, "Table I only")
 	t2 := flag.Bool("table2", false, "Table II only")
 	f7a := flag.Bool("fig7a", false, "Fig 7(a) only")
@@ -53,10 +61,30 @@ func main() {
 	if *quick {
 		opts = experiments.QuickOptions()
 	}
-	fmt.Fprintln(os.Stderr, "training the three models (this is the slow part)...")
+	switch *cacheDir {
+	case "off", "":
+	case "auto":
+		// Best-effort: a missing home dir or unwritable default cache
+		// must not block the reproduction, just disable reuse.
+		if dir, err := cache.DefaultDir(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: model cache disabled: %v\n", err)
+		} else if _, err := cache.Open(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: model cache disabled: %v\n", err)
+		} else {
+			opts.CacheDir = dir
+		}
+	default:
+		opts.CacheDir = *cacheDir
+	}
+	fmt.Fprintln(os.Stderr, "training the three models (cached models are reused)...")
 	tasks, err := experiments.PrepareTasks(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, task := range tasks {
+		if task.FromCache {
+			fmt.Fprintf(os.Stderr, "%s: reused cached model\n", task.Name)
+		}
 	}
 
 	if all || *t2 {

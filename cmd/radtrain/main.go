@@ -2,6 +2,11 @@
 // for one of the paper's tasks and writes the deployable fixed-point
 // model artifact.
 //
+// The artifact is written atomically inside a checksummed, versioned
+// container (see internal/artifact), so a crash mid-write never
+// leaves a corrupt file and downstream tools detect truncation or
+// stale formats with typed errors.
+//
 // Usage:
 //
 //	radtrain -task mnist|har|okg [-o model.gob] [-samples N] [-epochs N] [-seed N]
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"log"
 
+	"ehdl/internal/cli"
 	"ehdl/internal/dataset"
 	"ehdl/internal/experiments"
 	"ehdl/internal/nn"
@@ -68,7 +74,7 @@ func main() {
 	if path == "" {
 		path = *task + ".gob"
 	}
-	if err := res.Model.SaveFile(path); err != nil {
+	if err := cli.SaveModel(path, res.Model); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("model written to %s\n", path)

@@ -17,6 +17,7 @@
 package ehdl
 
 import (
+	"ehdl/internal/cli"
 	"ehdl/internal/core"
 	"ehdl/internal/dataset"
 	"ehdl/internal/exec"
@@ -71,8 +72,14 @@ func OKGArch() *Arch { return nn.OKGArch(256, 128, 64) }
 // Model is a quantized, deployable model artifact.
 type Model = quant.Model
 
-// LoadModel reads a model artifact from a file.
-func LoadModel(path string) (*Model, error) { return quant.LoadFile(path) }
+// LoadModel reads a model artifact from a file, verifying the
+// container (magic, format version, checksum) and the model's
+// structural consistency.
+func LoadModel(path string) (*Model, error) { return cli.LoadModel(path) }
+
+// SaveModel atomically writes a model artifact (checksummed,
+// versioned container; see internal/artifact).
+func SaveModel(path string, m *Model) error { return cli.SaveModel(path, m) }
 
 // TrainOptions configures the RAD pipeline.
 type TrainOptions = rad.PipelineConfig

@@ -1,0 +1,245 @@
+// Package artifact is the hardened container for everything the host
+// trains once and the device (or a later run) consumes many times —
+// the paper's "train on the host, deploy to the harvester-powered
+// node" split made safe against the file system.
+//
+// A bare encoding/gob blob fails in the worst possible ways: a
+// truncated download decodes into a cryptic "gob: unexpected EOF", a
+// stale artifact from before a struct refactor decodes *successfully*
+// into silently zeroed fields, and a crash mid-write leaves a corrupt
+// file under the real name. The container closes all three holes:
+//
+//	[8]  magic "EHDLART\x01"
+//	[4]  format version (big endian)
+//	[2]  kind length, then the kind string (e.g. "quant.Model")
+//	[8]  payload length (big endian)
+//	[n]  gob payload
+//	[32] SHA-256 over everything above
+//
+// Readers verify magic, version, kind and checksum before a single
+// gob byte is decoded, and report typed errors (ErrBadMagic,
+// ErrVersion, ErrChecksum, ErrTruncated, ErrKind) that name the file
+// and the failure. Writers go through a temp file in the target
+// directory and an atomic rename, so a crash never leaves a partial
+// artifact under the final name.
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies an ehdl artifact file. The trailing byte is a
+// format-era marker separate from FormatVersion: it only changes if
+// the envelope layout itself (not the payload schema) is redesigned.
+var magic = [8]byte{'E', 'H', 'D', 'L', 'A', 'R', 'T', 1}
+
+// FormatVersion is the current payload schema version. Bump it when a
+// gob-encoded payload type changes incompatibly; old files then fail
+// with ErrVersion instead of decoding into silently zeroed fields.
+const FormatVersion uint32 = 1
+
+// KindModel is the artifact kind of a quantized deployable model
+// (*quant.Model).
+const KindModel = "quant.Model"
+
+// KindTrainedCache is the artifact kind of a cached RAD training
+// result (see the cache subpackage).
+const KindTrainedCache = "rad.TrainedResult"
+
+// maxKindLen bounds the kind string so a corrupt length field cannot
+// drive a huge allocation.
+const maxKindLen = 255
+
+// Typed failure modes. Errors returned by Decode/ReadFile wrap
+// exactly one of these (or an underlying I/O error) plus the file
+// path and a human-readable diagnosis.
+var (
+	// ErrBadMagic: the file does not start with the artifact magic —
+	// it is not an ehdl artifact at all, or predates the container
+	// format (a raw gob blob from an old release).
+	ErrBadMagic = errors.New("not an ehdl artifact (bad magic; raw-gob files from old releases must be regenerated)")
+	// ErrVersion: the artifact was written with an incompatible
+	// format version.
+	ErrVersion = errors.New("incompatible artifact format version")
+	// ErrChecksum: the payload bytes do not match the stored SHA-256 —
+	// the file was corrupted after it was written.
+	ErrChecksum = errors.New("artifact checksum mismatch (file corrupt)")
+	// ErrTruncated: the file ends before the declared payload and
+	// checksum — an interrupted copy or download.
+	ErrTruncated = errors.New("artifact truncated")
+	// ErrKind: the artifact holds a different payload type than the
+	// reader asked for.
+	ErrKind = errors.New("artifact kind mismatch")
+)
+
+// Encode writes v as a checksummed container of the given kind to w.
+func Encode(w io.Writer, kind string, v any) error {
+	if len(kind) == 0 || len(kind) > maxKindLen {
+		return fmt.Errorf("artifact: kind must be 1..%d bytes, got %d", maxKindLen, len(kind))
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("artifact: encode %s payload: %w", kind, err)
+	}
+
+	var head bytes.Buffer
+	head.Write(magic[:])
+	binary.Write(&head, binary.BigEndian, FormatVersion)
+	binary.Write(&head, binary.BigEndian, uint16(len(kind)))
+	head.WriteString(kind)
+	binary.Write(&head, binary.BigEndian, uint64(payload.Len()))
+
+	sum := sha256.New()
+	sum.Write(head.Bytes())
+	sum.Write(payload.Bytes())
+
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return fmt.Errorf("artifact: write header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("artifact: write payload: %w", err)
+	}
+	if _, err := w.Write(sum.Sum(nil)); err != nil {
+		return fmt.Errorf("artifact: write checksum: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a container of the given kind from r and gob-decodes
+// its payload into v (a pointer). The header and checksum are fully
+// verified before any payload byte reaches the gob decoder.
+func Decode(r io.Reader, kind string, v any) error {
+	var gotMagic [8]byte
+	if err := readFull(r, gotMagic[:], "magic"); err != nil {
+		return err
+	}
+	if gotMagic != magic {
+		return ErrBadMagic
+	}
+
+	var fixed [4 + 2]byte
+	if err := readFull(r, fixed[:], "header"); err != nil {
+		return err
+	}
+	version := binary.BigEndian.Uint32(fixed[0:4])
+	if version != FormatVersion {
+		return fmt.Errorf("%w: file has v%d, this build reads v%d", ErrVersion, version, FormatVersion)
+	}
+	kindLen := int(binary.BigEndian.Uint16(fixed[4:6]))
+	if kindLen == 0 || kindLen > maxKindLen {
+		return fmt.Errorf("%w: kind length %d out of range", ErrChecksum, kindLen)
+	}
+	kindBuf := make([]byte, kindLen)
+	if err := readFull(r, kindBuf, "kind"); err != nil {
+		return err
+	}
+	if string(kindBuf) != kind {
+		return fmt.Errorf("%w: file holds %q, want %q", ErrKind, kindBuf, kind)
+	}
+	var lenBuf [8]byte
+	if err := readFull(r, lenBuf[:], "payload length"); err != nil {
+		return err
+	}
+	payloadLen := binary.BigEndian.Uint64(lenBuf[:])
+	const maxPayload = 1 << 30 // far above any model; guards corrupt lengths
+	if payloadLen > maxPayload {
+		return fmt.Errorf("%w: declared payload %d bytes", ErrChecksum, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if err := readFull(r, payload, "payload"); err != nil {
+		return err
+	}
+	var gotSum [sha256.Size]byte
+	if err := readFull(r, gotSum[:], "checksum"); err != nil {
+		return err
+	}
+
+	sum := sha256.New()
+	sum.Write(magic[:])
+	sum.Write(fixed[:])
+	sum.Write(kindBuf)
+	sum.Write(lenBuf[:])
+	sum.Write(payload)
+	if !bytes.Equal(sum.Sum(nil), gotSum[:]) {
+		return ErrChecksum
+	}
+
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		// The checksum matched, so the bytes are exactly what the
+		// writer produced: this is a schema drift the version field
+		// did not catch (same FormatVersion, changed type).
+		return fmt.Errorf("%w: payload verifies but does not decode as %s: %v", ErrVersion, kind, err)
+	}
+	return nil
+}
+
+// readFull wraps io.ReadFull, converting short reads into ErrTruncated
+// with the section that was cut off.
+func readFull(r io.Reader, buf []byte, section string) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: file ends inside %s", ErrTruncated, section)
+		}
+		return fmt.Errorf("artifact: read %s: %w", section, err)
+	}
+	return nil
+}
+
+// WriteFile atomically writes v as a container of the given kind to
+// path: the bytes go to a temp file in the same directory, are synced,
+// and are renamed over path only on success. A crash mid-write leaves
+// at worst a stray temp file, never a corrupt artifact under path.
+func WriteFile(path, kind string, v any) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ehdl-artifact-*")
+	if err != nil {
+		return fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = Encode(tmp, kind, v); err != nil {
+		return fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("artifact: %s: sync: %w", path, err)
+	}
+	// CreateTemp opens at 0600; artifacts are shareable data files, so
+	// restore the conventional os.Create permissions before publishing.
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("artifact: %s: chmod: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("artifact: %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile reads and fully verifies the container at path, decoding
+// its payload into v. Errors name the file and wrap the typed
+// sentinels above.
+func ReadFile(path, kind string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	defer f.Close()
+	if err := Decode(f, kind, v); err != nil {
+		return fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	return nil
+}

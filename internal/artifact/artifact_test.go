@@ -1,0 +1,190 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name string
+	Vals []int16
+}
+
+// rawGob mimics a pre-container artifact: a bare gob stream.
+func rawGob(t *testing.T, v any) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func encodeBytes(t *testing.T, kind string, v any) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := Encode(&b, kind, v); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := payload{Name: "m", Vals: []int16{1, -2, 3, 32767, -32768}}
+	raw := encodeBytes(t, "test.payload", &want)
+
+	var got payload
+	if err := Decode(bytes.NewReader(raw), "test.payload", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || len(got.Vals) != len(want.Vals) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.Vals {
+		if got.Vals[i] != want.Vals[i] {
+			t.Fatalf("val %d = %d, want %d", i, got.Vals[i], want.Vals[i])
+		}
+	}
+
+	// Save → load → save must be bit-identical: the container adds no
+	// nondeterminism (no timestamps, no randomness).
+	again := encodeBytes(t, "test.payload", &got)
+	if !bytes.Equal(raw, again) {
+		t.Fatal("re-encoding a decoded payload changed the bytes")
+	}
+}
+
+// TestCorruptedStreams drives the reader over every malformation the
+// container must catch, asserting the typed sentinel for each.
+func TestCorruptedStreams(t *testing.T) {
+	good := encodeBytes(t, "test.payload", &payload{Name: "x", Vals: []int16{9, 8, 7}})
+
+	mut := func(f func(b []byte) []byte) []byte {
+		c := append([]byte(nil), good...)
+		return f(c)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty file", nil, ErrTruncated},
+		{"truncated inside magic", good[:4], ErrTruncated},
+		{"truncated inside header", good[:10], ErrTruncated},
+		{"truncated inside payload", good[:len(good)-40], ErrTruncated},
+		{"truncated inside checksum", good[:len(good)-5], ErrTruncated},
+		{"bad magic", mut(func(b []byte) []byte { b[0] = 'X'; return b }), ErrBadMagic},
+		{"raw gob blob (old format)", rawGob(t, &payload{Name: "legacy", Vals: []int16{1, 2}}), ErrBadMagic},
+		{"future version", mut(func(b []byte) []byte { b[8+3] = 99; return b }), ErrVersion},
+		{"flipped payload byte", mut(func(b []byte) []byte { b[len(b)-40] ^= 0x40; return b }), ErrChecksum},
+		{"flipped checksum byte", mut(func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }), ErrChecksum},
+		{"flipped length byte", mut(func(b []byte) []byte {
+			// Shrinking the declared payload length keeps the read in
+			// bounds but desynchronizes the checksum.
+			b[8+4+2+len("test.payload")+7]--
+			return b
+		}), ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var v payload
+			err := Decode(bytes.NewReader(tc.data), "test.payload", &v)
+			if err == nil {
+				t.Fatal("decode accepted corrupt stream")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	raw := encodeBytes(t, "test.payload", &payload{Name: "x"})
+	var v payload
+	err := Decode(bytes.NewReader(raw), "other.kind", &v)
+	if !errors.Is(err, ErrKind) {
+		t.Fatalf("err = %v, want ErrKind", err)
+	}
+}
+
+func TestSchemaDriftSameVersion(t *testing.T) {
+	// A checksum-valid payload that is not gob for the target type:
+	// must surface as a version problem, never silent zero fields.
+	raw := encodeBytes(t, "test.payload", &struct{ Completely string }{"different"})
+	var v struct{ N []float64 }
+	err := Decode(bytes.NewReader(raw), "test.payload", &v)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.gob")
+
+	if err := WriteFile(path, "test.payload", &payload{Name: "v1", Vals: []int16{1}}); err != nil {
+		t.Fatal(err)
+	}
+	var v1 payload
+	if err := ReadFile(path, "test.payload", &v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failing write (unencodable payload: gob rejects funcs) must
+	// leave the existing artifact untouched and no temp litter.
+	type bad struct{ F func() }
+	if err := WriteFile(path, "test.payload", &bad{}); err == nil {
+		t.Fatal("WriteFile accepted an unencodable payload")
+	}
+	var again payload
+	if err := ReadFile(path, "test.payload", &again); err != nil {
+		t.Fatalf("original artifact damaged by failed write: %v", err)
+	}
+	if again.Name != "v1" {
+		t.Fatalf("original artifact content changed: %+v", again)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ehdl-artifact-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("unexpected files in dir: %v", entries)
+	}
+}
+
+func TestWriteFilePermissions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := WriteFile(path, "test.payload", &payload{Name: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CreateTemp opens at 0600; published artifacts must be world
+	// readable like os.Create's.
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("artifact mode %o, want 644", perm)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	err := ReadFile(filepath.Join(t.TempDir(), "nope.gob"), "test.payload", &payload{})
+	if err == nil {
+		t.Fatal("ReadFile succeeded on a missing file")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want wrapped os.ErrNotExist", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package cache is a content-addressed store of trained-model
+// artifacts. The paper's workflow trains once on the host and deploys
+// many times; before this cache, every paperbench/test invocation
+// retrained the three task models from scratch. An entry is keyed by
+// the SHA-256 of everything that determines the training outcome —
+// the architecture spec, the dataset parameters, and the full RAD
+// pipeline configuration — so a hit is guaranteed to be bit-identical
+// to retraining (training is deterministic), and any change to those
+// inputs naturally misses.
+//
+// Entries are stored through internal/artifact's checksummed
+// container; a corrupt or version-skewed entry is treated as a miss
+// (and removed), never as data. Invalidation is therefore automatic
+// for input changes and manual for code changes: delete the cache
+// directory (or bump artifact.FormatVersion) after modifying the
+// training pipeline itself.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ehdl/internal/artifact"
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
+	"ehdl/internal/rad"
+	"ehdl/internal/train"
+)
+
+// EnvDir is the environment variable overriding the default cache
+// location.
+const EnvDir = "EHDL_MODEL_CACHE"
+
+// Spec names everything that determines a training run's outcome.
+type Spec struct {
+	// Dataset is the generator name ("MNIST", "HAR", "OKG").
+	Dataset string
+	// TrainSamples/TestSamples/Seed parameterize the generator.
+	TrainSamples int
+	TestSamples  int
+	Seed         int64
+	// Arch is the candidate architecture (name + full layer specs).
+	Arch *nn.Arch
+	// Config is the complete RAD pipeline configuration.
+	Config rad.PipelineConfig
+}
+
+// Key returns the content address of the spec: a SHA-256 over its
+// canonical JSON encoding plus the artifact format version (so a
+// payload-schema bump invalidates every old entry at once).
+func (s Spec) Key() string {
+	blob, err := json.Marshal(struct {
+		Format uint32
+		Spec   Spec
+	}{artifact.FormatVersion, s})
+	if err != nil {
+		// Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("cache: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// Entry is the cached outcome of one training run — the deployable
+// model plus the scalar results experiments and CLIs report. The
+// float network is deliberately not cached: nothing downstream of
+// training consumes it, and it triples the entry size.
+type Entry struct {
+	TaskName      string
+	Model         *quant.Model
+	FloatAccuracy float64
+	QuantAccuracy float64
+	Prune         []train.PruneResult
+	EstCycles     uint64
+}
+
+// Cache is a directory of keyed entries.
+type Cache struct {
+	dir string
+}
+
+// DefaultDir resolves the cache location: $EHDL_MODEL_CACHE if set,
+// else <user cache dir>/ehdl/models.
+func DefaultDir() (string, error) {
+	if dir := os.Getenv(EnvDir); dir != "" {
+		return dir, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("cache: no user cache dir (set %s): %w", EnvDir, err)
+	}
+	return filepath.Join(base, "ehdl", "models"), nil
+}
+
+// Open returns a cache rooted at dir, creating it if needed. An empty
+// dir selects DefaultDir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		var err error
+		if dir, err = DefaultDir(); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".ehdl")
+}
+
+// Load returns the entry for key, or (nil, nil) on a miss. A file
+// that exists but fails container verification or model validation is
+// removed and reported as a miss: the caller retrains and overwrites,
+// so the cache self-heals.
+func (c *Cache) Load(key string) (*Entry, error) {
+	path := c.path(key)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	var e Entry
+	if err := artifact.ReadFile(path, artifact.KindTrainedCache, &e); err != nil {
+		os.Remove(path)
+		return nil, nil
+	}
+	if e.Model == nil || e.Model.Validate() != nil {
+		os.Remove(path)
+		return nil, nil
+	}
+	return &e, nil
+}
+
+// Store writes the entry under key (atomically, via the artifact
+// container).
+func (c *Cache) Store(key string, e *Entry) error {
+	if e == nil || e.Model == nil {
+		return fmt.Errorf("cache: refusing to store an empty entry")
+	}
+	if err := e.Model.Validate(); err != nil {
+		return fmt.Errorf("cache: refusing to store an invalid model: %w", err)
+	}
+	return artifact.WriteFile(c.path(key), artifact.KindTrainedCache, e)
+}

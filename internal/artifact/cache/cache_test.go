@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
+	"ehdl/internal/rad"
+)
+
+func testModel(t *testing.T, seed int64) *quant.Model {
+	t.Helper()
+	arch := &nn.Arch{
+		Name: "t", InShape: [3]int{1, 1, 16}, NumClasses: 4,
+		Specs: []nn.LayerSpec{
+			{Kind: "dense", In: 16, Out: 8},
+			{Kind: "relu", N: 8},
+			{Kind: "dense", In: 8, Out: 4},
+		},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := arch.Build(rng)
+	calib := make([][]float64, 3)
+	for i := range calib {
+		x := make([]float64, 16)
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		calib[i] = x
+	}
+	m, err := quant.Quantize(net, arch, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testSpec() Spec {
+	return Spec{
+		Dataset:      "MNIST",
+		TrainSamples: 300,
+		TestSamples:  60,
+		Seed:         1,
+		Arch:         nn.MNISTArch(128, true),
+		Config:       rad.DefaultPipelineConfig(),
+	}
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	base := testSpec()
+	if base.Key() != testSpec().Key() {
+		t.Fatal("identical specs hash differently")
+	}
+	perturb := []func(*Spec){
+		func(s *Spec) { s.Dataset = "HAR" },
+		func(s *Spec) { s.TrainSamples++ },
+		func(s *Spec) { s.TestSamples++ },
+		func(s *Spec) { s.Seed++ },
+		func(s *Spec) { s.Arch = nn.MNISTArch(64, true) },
+		func(s *Spec) { s.Arch = nn.MNISTArch(128, false) },
+		func(s *Spec) { s.Config.Train.Epochs++ },
+		func(s *Spec) { s.Config.ADMM.Rounds++ },
+		func(s *Spec) { s.Config.Seed++ },
+		func(s *Spec) { s.Config.CalibSamples++ },
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, f := range perturb {
+		s := testSpec()
+		f(&s)
+		k := s.Key()
+		if seen[k] {
+			t.Fatalf("perturbation %d did not change the key", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+
+	if e, err := c.Load(key); err != nil || e != nil {
+		t.Fatalf("cold cache: entry=%v err=%v, want nil/nil", e, err)
+	}
+
+	want := &Entry{
+		TaskName:      "MNIST",
+		Model:         testModel(t, 2),
+		FloatAccuracy: 0.91,
+		QuantAccuracy: 0.89,
+		EstCycles:     12345,
+	}
+	if err := c.Store(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("warm cache missed")
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("cached entry differs from stored entry")
+	}
+}
+
+func TestCorruptEntryIsAMissAndSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+	if err := c.Store(key, &Entry{TaskName: "x", Model: testModel(t, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-50] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if e, err := c.Load(key); err != nil || e != nil {
+		t.Fatalf("corrupt entry: entry=%v err=%v, want miss", e, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+}
+
+func TestStoreRejectsInvalid(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("k", nil); err == nil {
+		t.Fatal("stored nil entry")
+	}
+	m := testModel(t, 4)
+	m.Name = ""
+	if err := c.Store("k", &Entry{Model: m}); err == nil {
+		t.Fatal("stored invalid model")
+	}
+}
+
+func TestDefaultDirEnvOverride(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "override")
+	t.Setenv(EnvDir, dir)
+	got, err := DefaultDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dir {
+		t.Fatalf("DefaultDir = %q, want %q", got, dir)
+	}
+}

@@ -1,0 +1,163 @@
+package cli
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ehdl/internal/artifact"
+	"ehdl/internal/dataset"
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
+)
+
+// testMNISTModel quantizes a randomly initialized model with the
+// MNIST input geometry and name, so DatasetFor resolves it (no
+// training: CLI plumbing does not care about accuracy).
+func testMNISTModel(t *testing.T, seed int64) *quant.Model {
+	t.Helper()
+	arch := &nn.Arch{
+		Name: "mnist", InShape: [3]int{1, 28, 28}, NumClasses: 10,
+		Specs: []nn.LayerSpec{
+			{Kind: "conv", InC: 1, InH: 28, InW: 28, OutC: 2, KH: 5, KW: 5},
+			{Kind: "pool", InC: 2, InH: 24, InW: 24, PoolSize: 2},
+			{Kind: "relu", N: 2 * 12 * 12},
+			{Kind: "flatten", N: 288},
+			{Kind: "bcm", In: 288, Out: 32, K: 16, WeightNorm: true},
+			{Kind: "relu", N: 32},
+			{Kind: "dense", In: 32, Out: 10},
+		},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := arch.Build(rng)
+	calib := make([][]float64, 4)
+	for i := range calib {
+		x := make([]float64, arch.InLen())
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		calib[i] = x
+	}
+	m, err := quant.Quantize(net, arch, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	m := testMNISTModel(t, 1)
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mnist" || len(got.Layers) != len(m.Layers) {
+		t.Fatalf("loaded model mangled: %q, %d layers", got.Name, len(got.Layers))
+	}
+}
+
+func TestSaveModelRejectsInvalid(t *testing.T) {
+	m := testMNISTModel(t, 1)
+	m.Layers[0].W = nil
+	if err := SaveModel(filepath.Join(t.TempDir(), "m.gob"), m); err == nil {
+		t.Fatal("saved a structurally invalid model")
+	}
+}
+
+// TestLoadModelTypedErrors: the CLI-facing load path surfaces the
+// artifact sentinels and names the offending file.
+func TestLoadModelTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.gob")
+	if err := SaveModel(good, testMNISTModel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)-200] ^= 0x08
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"not-an-artifact.bin", []byte("PK\x03\x04 definitely a zip"), artifact.ErrBadMagic},
+		{"truncated.bin", raw[:200], artifact.ErrTruncated},
+		{"corrupt.bin", corrupt, artifact.ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name)
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadModel(path)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Fatalf("error does not name the file: %v", err)
+			}
+			// The raw decoder error ("gob: unexpected EOF" and kin)
+			// must never reach the user.
+			if strings.Contains(err.Error(), "gob:") {
+				t.Fatalf("raw gob error leaked to the user: %v", err)
+			}
+		})
+	}
+}
+
+func TestDatasetFor(t *testing.T) {
+	m := testMNISTModel(t, 3)
+	set, err := DatasetFor(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.InputLen() != 784 || len(set.Test) == 0 {
+		t.Fatalf("unexpected dataset: len=%d test=%d", set.InputLen(), len(set.Test))
+	}
+	m.Name = "cifar"
+	if _, err := DatasetFor(m, 1); err == nil {
+		t.Fatal("resolved a dataset for an unknown model name")
+	}
+}
+
+func TestSampleRange(t *testing.T) {
+	set := dataset.MNIST(1, 8, 1)
+	if _, err := Sample(set, 7); err != nil {
+		t.Fatalf("valid index rejected: %v", err)
+	}
+	for _, idx := range []int{-1, 8, 1000} {
+		_, err := Sample(set, idx)
+		if err == nil {
+			t.Fatalf("index %d accepted (test set has 8 samples)", idx)
+		}
+		if !strings.Contains(err.Error(), "0..7") {
+			t.Fatalf("error does not name the valid range: %v", err)
+		}
+	}
+	if _, err := Sample(&dataset.Set{Name: "empty"}, 0); err == nil {
+		t.Fatal("empty test set accepted")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, good := range []string{"base", "sonic", "tails", "ace", "ace+flex"} {
+		if _, err := ParseEngine(good); err != nil {
+			t.Errorf("%s rejected: %v", good, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -1,0 +1,362 @@
+package cli
+
+// This file implements declarative fleet scenarios: one JSON document
+// declares N heterogeneous device specs — engine × capacitance ×
+// harvest profile (or trace) × model — and expands into the concrete
+// fleet.Scenarios cmd/ehfleet simulates. The expansion is fully
+// deterministic for a given (file, seed) pair.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"ehdl/internal/core"
+	"ehdl/internal/dataset"
+	"ehdl/internal/fixed"
+	"ehdl/internal/fleet"
+	"ehdl/internal/harvest"
+	"ehdl/internal/quant"
+)
+
+// ScenarioFile is the on-disk schema:
+//
+//	{
+//	  "defaults": { "model": "mnist.gob", "engine": "ace+flex", "cap_f": 100e-6 },
+//	  "devices": [
+//	    { "name": "bench",  "count": 2 },
+//	    { "name": "window", "engine": "sonic", "cap_f": 47e-6, "jitter": 0.2,
+//	      "profile": { "kind": "sine", "power_w": 3e-3, "period_s": 0.2 } },
+//	    { "name": "solar",  "profile": { "kind": "trace", "trace": "solar.csv", "repeat": true } }
+//	  ]
+//	}
+//
+// Every device field falls back to "defaults", then to the paper's
+// experimental setup (ace+flex, 100 µF, 5 mW square wave at 50% duty).
+// A device's "profile" object replaces the default profile wholesale.
+// Relative "model" and "trace" paths resolve against the scenario
+// file's directory, so a scenario bundle is self-contained. Unknown
+// fields are rejected — a typo fails loudly instead of silently
+// simulating the default.
+type ScenarioFile struct {
+	Defaults DeviceSpec   `json:"defaults"`
+	Devices  []DeviceSpec `json:"devices"`
+}
+
+// DeviceSpec declares one (possibly repeated) device of the fleet.
+type DeviceSpec struct {
+	// Name labels the device's report rows; expansion appends /i for
+	// count > 1.
+	Name string `json:"name,omitempty"`
+	// Count expands this spec into that many devices (default 1).
+	Count *int `json:"count,omitempty"`
+	// Model is the artifact path (relative to the scenario file).
+	Model string `json:"model,omitempty"`
+	// Engine is the runtime: base, sonic, tails, ace, ace+flex.
+	Engine string `json:"engine,omitempty"`
+	// CapF is the capacitance in farads.
+	CapF *float64 `json:"cap_f,omitempty"`
+	// LeakW is the parasitic leakage in watts.
+	LeakW *float64 `json:"leak_w,omitempty"`
+	// Sample is the test-set input index; unset cycles the test set
+	// across the expanded fleet.
+	Sample *int `json:"sample,omitempty"`
+	// Jitter spreads each expanded device's harvest power uniformly in
+	// [1-j, 1+j], deterministically from the expansion seed.
+	Jitter *float64 `json:"jitter,omitempty"`
+	// Profile selects the harvest waveform (replaces the default
+	// profile wholesale when present).
+	Profile *ProfileSpec `json:"profile,omitempty"`
+}
+
+// ProfileSpec declares a harvest profile. The numeric fields are
+// pointers so an explicit 0 (a dead source, a degenerate duty cycle)
+// is passed to the profile validators instead of being silently
+// replaced by the paper defaults.
+type ProfileSpec struct {
+	Kind   string   `json:"kind"` // square, sine, const, trace
+	PowerW *float64 `json:"power_w,omitempty"`
+	Period *float64 `json:"period_s,omitempty"`
+	Duty   *float64 `json:"duty,omitempty"`
+	Trace  string   `json:"trace,omitempty"`  // CSV path (kind "trace")
+	Repeat bool     `json:"repeat,omitempty"` // repeat vs hold-last
+}
+
+// The paper's experimental defaults, used for any field no spec sets.
+const (
+	defaultPowerW = 5e-3
+	defaultPeriod = 0.1
+	defaultDuty   = 0.5
+)
+
+var paperProfile = ProfileSpec{Kind: "square"}
+
+// ParseScenarioFile strictly decodes a scenario document.
+func ParseScenarioFile(path string) (*ScenarioFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario file: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var sf ScenarioFile
+	if err := dec.Decode(&sf); err != nil {
+		return nil, fmt.Errorf("scenario file %s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario file %s: trailing data after the document", path)
+	}
+	if len(sf.Devices) == 0 {
+		return nil, fmt.Errorf("scenario file %s: no devices declared", path)
+	}
+	return &sf, nil
+}
+
+// LoadScenarios parses the scenario file at path and expands it into
+// concrete fleet scenarios. Each distinct model artifact is loaded and
+// validated once; datasets and traces are likewise shared across
+// devices. seed drives jitter and the dataset generators, so the same
+// (file, seed) pair always expands to an identical fleet.
+func LoadScenarios(path string, seed int64) ([]fleet.Scenario, error) {
+	sf, err := ParseScenarioFile(path)
+	if err != nil {
+		return nil, err
+	}
+	x := &expander{
+		baseDir: filepath.Dir(path),
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed)),
+		models:  map[string]*quant.Model{},
+		sets:    map[string]*dataset.Set{},
+		traces:  map[string]*harvest.TraceProfile{},
+	}
+	var scenarios []fleet.Scenario
+	for di := range sf.Devices {
+		expanded, err := x.expand(&sf.Defaults, &sf.Devices[di], di)
+		if err != nil {
+			return nil, fmt.Errorf("scenario file %s: device %d (%s): %w",
+				path, di, specName(&sf.Devices[di], di), err)
+		}
+		scenarios = append(scenarios, expanded...)
+	}
+	return scenarios, nil
+}
+
+// expander carries the shared state of one scenario expansion.
+type expander struct {
+	baseDir string
+	seed    int64
+	rng     *rand.Rand
+	next    int // global expanded-device index, for sample cycling
+	models  map[string]*quant.Model
+	sets    map[string]*dataset.Set
+	traces  map[string]*harvest.TraceProfile
+}
+
+func specName(d *DeviceSpec, idx int) string {
+	if d.Name != "" {
+		return d.Name
+	}
+	return fmt.Sprintf("dev%02d", idx)
+}
+
+// expand resolves device spec di (with defaults) into count concrete
+// scenarios.
+func (x *expander) expand(def, d *DeviceSpec, di int) ([]fleet.Scenario, error) {
+	count := 1
+	if c := pick(d.Count, def.Count); c != nil {
+		count = *c
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("count must be >= 1, got %d", count)
+	}
+
+	modelPath := d.Model
+	if modelPath == "" {
+		modelPath = def.Model
+	}
+	if modelPath == "" {
+		return nil, fmt.Errorf("no model path (set it on the device or in defaults)")
+	}
+	m, set, err := x.model(modelPath)
+	if err != nil {
+		return nil, err
+	}
+
+	engineName := d.Engine
+	if engineName == "" {
+		engineName = def.Engine
+	}
+	if engineName == "" {
+		engineName = string(core.EngineACEFLEX)
+	}
+	engine, err := ParseEngine(engineName)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := harvest.PaperConfig()
+	if c := pick(d.CapF, def.CapF); c != nil {
+		cfg.CapacitanceF = *c
+	}
+	if l := pick(d.LeakW, def.LeakW); l != nil {
+		cfg.LeakageW = *l
+	}
+
+	jitter := 0.0
+	if j := pick(d.Jitter, def.Jitter); j != nil {
+		jitter = *j
+	}
+	if jitter < 0 || jitter >= 1 {
+		return nil, fmt.Errorf("jitter must be in [0, 1), got %g", jitter)
+	}
+
+	prof := paperProfile
+	if p := d.Profile; p != nil {
+		prof = *p
+	} else if def.Profile != nil {
+		prof = *def.Profile
+	}
+
+	name := specName(d, di)
+	out := make([]fleet.Scenario, 0, count)
+	for i := 0; i < count; i++ {
+		// One jitter draw per expanded device, always, so the fleet
+		// layout does not shift when one spec toggles jitter on.
+		scale := 1 + jitter*(2*x.rng.Float64()-1)
+		profile, err := x.profile(prof, scale)
+		if err != nil {
+			return nil, err
+		}
+
+		sampleIdx := x.next % len(set.Test)
+		if s := pick(d.Sample, def.Sample); s != nil {
+			sampleIdx = *s
+		}
+		sample, err := Sample(set, sampleIdx)
+		if err != nil {
+			return nil, err
+		}
+		x.next++
+
+		devName := name
+		if count > 1 {
+			devName = fmt.Sprintf("%s/%d", name, i)
+		}
+		out = append(out, fleet.Scenario{
+			Name:   devName,
+			Engine: engine,
+			Model:  m,
+			Input:  fixed.FromFloats(sample.Input),
+			Setup:  core.HarvestSetup{Config: cfg, Profile: profile},
+		})
+	}
+	return out, nil
+}
+
+// model loads (once) the artifact at path and the dataset matching it.
+func (x *expander) model(path string) (*quant.Model, *dataset.Set, error) {
+	resolved := x.resolve(path)
+	m, ok := x.models[resolved]
+	if !ok {
+		var err error
+		if m, err = LoadModel(resolved); err != nil {
+			return nil, nil, err
+		}
+		x.models[resolved] = m
+	}
+	set, ok := x.sets[m.Name]
+	if !ok {
+		var err error
+		if set, err = DatasetFor(m, x.seed); err != nil {
+			return nil, nil, err
+		}
+		x.sets[m.Name] = set
+	}
+	return m, set, nil
+}
+
+// profile constructs the harvest profile with the device's power
+// scale applied, resolving unset fields to the paper defaults and
+// loading (once) the trace the spec names.
+func (x *expander) profile(p ProfileSpec, scale float64) (harvest.Profile, error) {
+	var tr *harvest.TraceProfile
+	if p.Kind == "trace" {
+		if p.Trace == "" {
+			return nil, fmt.Errorf(`profile kind "trace" needs a "trace" CSV path`)
+		}
+		resolved := x.resolve(p.Trace)
+		var ok bool
+		if tr, ok = x.traces[traceKey(resolved, p.Repeat)]; !ok {
+			var err error
+			if tr, err = harvest.LoadTraceFile(resolved, p.Repeat); err != nil {
+				return nil, err
+			}
+			x.traces[traceKey(resolved, p.Repeat)] = tr
+		}
+	}
+	return BuildProfile(p.Kind,
+		orDefault(p.PowerW, defaultPowerW),
+		orDefault(p.Period, defaultPeriod),
+		orDefault(p.Duty, defaultDuty),
+		tr, scale)
+}
+
+// BuildProfile constructs a validated harvest profile — the one
+// waveform switch behind ehsim, ehfleet's flag mode and the scenario
+// expander. power/period/duty apply where the kind uses them; trace
+// must be the preloaded trace for kind "trace"; scale multiplies the
+// profile's power (per-device jitter; pass 1 for none).
+func BuildProfile(kind string, power, period, duty float64, trace *harvest.TraceProfile, scale float64) (harvest.Profile, error) {
+	switch kind {
+	case "square":
+		return harvest.NewSquareProfile(power*scale, period, duty)
+	case "sine":
+		return harvest.NewSineProfile(power*scale, period)
+	case "const":
+		return harvest.NewConstantProfile(power * scale)
+	case "trace":
+		if trace == nil {
+			return nil, fmt.Errorf(`profile kind "trace" needs a harvesting trace`)
+		}
+		scaled, err := trace.Scale(scale)
+		if err != nil {
+			return nil, err
+		}
+		return scaled, nil
+	case "":
+		return nil, fmt.Errorf(`profile needs a "kind" (square, sine, const, trace)`)
+	default:
+		return nil, fmt.Errorf("unknown profile kind %q (want square, sine, const, trace)", kind)
+	}
+}
+
+func traceKey(path string, repeat bool) string {
+	return fmt.Sprintf("%s|%v", path, repeat)
+}
+
+// resolve anchors a relative path at the scenario file's directory.
+func (x *expander) resolve(path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(x.baseDir, path)
+}
+
+// pick returns the device-level value when set, else the default.
+func pick[T any](dev, def *T) *T {
+	if dev != nil {
+		return dev
+	}
+	return def
+}
+
+func orDefault(v *float64, def float64) float64 {
+	if v == nil {
+		return def
+	}
+	return *v
+}

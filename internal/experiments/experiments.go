@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"ehdl/internal/artifact/cache"
 	"ehdl/internal/circulant"
 	"ehdl/internal/core"
 	"ehdl/internal/dataset"
@@ -31,6 +32,14 @@ type Options struct {
 	Epochs       int
 	ADMMRounds   int
 	Seed         int64
+
+	// CacheDir enables the content-addressed trained-model cache:
+	// PrepareTasks loads models whose (arch, dataset, options) key is
+	// already cached instead of retraining, and stores fresh training
+	// results for the next run. Empty disables caching. Cached results
+	// are bit-identical to retraining (training is deterministic); see
+	// internal/artifact/cache for the invalidation rules.
+	CacheDir string
 }
 
 // FullOptions reproduces the paper-scale runs (minutes of training).
@@ -49,6 +58,11 @@ type Task struct {
 	Set    *dataset.Set
 	Arch   *nn.Arch
 	Result *rad.Result
+	// FromCache is true when the result was served by the trained-model
+	// cache instead of a fresh training run. Cached results omit the
+	// float network (Result.Net is nil); everything the experiments
+	// consume — model, accuracies, prune report — is present.
+	FromCache bool
 }
 
 // PrepareTasks trains the paper's three models through the full RAD
@@ -56,7 +70,8 @@ type Task struct {
 // rngs (all seeded locally) and network — so they train concurrently;
 // the returned order matches the spec order regardless of which
 // finishes first, and the per-task results are bit-identical to a
-// serial run.
+// serial run. With Options.CacheDir set, tasks whose content key is
+// already cached skip training entirely (Task.FromCache).
 func PrepareTasks(opts Options) ([]*Task, error) {
 	cfg := rad.DefaultPipelineConfig()
 	cfg.Train.Epochs = opts.Epochs
@@ -75,6 +90,15 @@ func PrepareTasks(opts Options) ([]*Task, error) {
 		{"HAR", dataset.HAR(opts.TrainSamples, opts.TestSamples, opts.Seed+1), nn.HARArch(128, 64)},
 		{"OKG", dataset.OKG(opts.TrainSamples, opts.TestSamples, opts.Seed+2), nn.OKGArch(256, 128, 64)},
 	}
+
+	var store *cache.Cache
+	if opts.CacheDir != "" {
+		var err error
+		if store, err = cache.Open(opts.CacheDir); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
+
 	tasks := make([]*Task, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -83,10 +107,51 @@ func PrepareTasks(opts Options) ([]*Task, error) {
 		go func(i int) {
 			defer wg.Done()
 			s := specs[i]
+			var key string
+			if store != nil {
+				key = cache.Spec{
+					Dataset:      s.name,
+					TrainSamples: opts.TrainSamples,
+					TestSamples:  opts.TestSamples,
+					Seed:         opts.Seed + int64(i),
+					Arch:         s.arch,
+					Config:       cfg,
+				}.Key()
+				// A cache read failure is a miss, never an abort: the
+				// cache only saves time, so training proceeds and the
+				// fresh result overwrites whatever was unreadable.
+				if e, err := store.Load(key); err == nil && e != nil {
+					tasks[i] = &Task{
+						Name: s.name, Set: s.set, Arch: s.arch, FromCache: true,
+						Result: &rad.Result{
+							Arch:          s.arch,
+							Model:         e.Model,
+							FloatAccuracy: e.FloatAccuracy,
+							QuantAccuracy: e.QuantAccuracy,
+							Prune:         e.Prune,
+							EstCycles:     e.EstCycles,
+						},
+					}
+					return
+				}
+			}
 			res, err := rad.Train(s.arch, s.set, cfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("experiments: train %s: %w", s.name, err)
 				return
+			}
+			if store != nil {
+				// Likewise a store failure (full disk, read-only dir)
+				// must not discard a completed training run; the entry
+				// simply is not cached and the next run retrains.
+				_ = store.Store(key, &cache.Entry{
+					TaskName:      s.name,
+					Model:         res.Model,
+					FloatAccuracy: res.FloatAccuracy,
+					QuantAccuracy: res.QuantAccuracy,
+					Prune:         res.Prune,
+					EstCycles:     res.EstCycles,
+				})
 			}
 			tasks[i] = &Task{Name: s.name, Set: s.set, Arch: s.arch, Result: res}
 		}(i)

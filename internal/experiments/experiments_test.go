@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -136,6 +137,60 @@ func TestFig8MonotonicInBlockSize(t *testing.T) {
 	}
 	if !strings.Contains(RenderFig8(rows), "BCM block 128") {
 		t.Error("render missing variant")
+	}
+}
+
+// TestPrepareTasksWarmCacheSkipsTraining: the second PrepareTasks run
+// with the same options and a shared cache dir must serve every task
+// from the cache (Task.FromCache) with results identical to the cold
+// run, and a changed option must miss again.
+func TestPrepareTasksWarmCacheSkipsTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three (tiny) models")
+	}
+	opts := Options{
+		TrainSamples: 60, TestSamples: 12, Epochs: 1, ADMMRounds: 1, Seed: 1,
+		CacheDir: t.TempDir(),
+	}
+	cold, err := PrepareTasks(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range cold {
+		if task.FromCache {
+			t.Fatalf("%s served from a cold cache", task.Name)
+		}
+	}
+	warm, err := PrepareTasks(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range warm {
+		if !task.FromCache {
+			t.Fatalf("%s retrained despite a warm cache", task.Name)
+		}
+		want := cold[i].Result
+		if !reflect.DeepEqual(want.Model, task.Result.Model) {
+			t.Fatalf("%s: cached model differs from trained model", task.Name)
+		}
+		if task.Result.FloatAccuracy != want.FloatAccuracy ||
+			task.Result.QuantAccuracy != want.QuantAccuracy ||
+			task.Result.EstCycles != want.EstCycles ||
+			!reflect.DeepEqual(task.Result.Prune, want.Prune) {
+			t.Fatalf("%s: cached scalars differ", task.Name)
+		}
+	}
+
+	// Any option that changes the training outcome must miss.
+	opts.Seed = 2
+	miss, err := PrepareTasks(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range miss {
+		if task.FromCache {
+			t.Fatalf("%s hit the cache across a seed change", task.Name)
+		}
 	}
 }
 

@@ -1,0 +1,190 @@
+package tails_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ehdl/internal/device"
+	"ehdl/internal/exec"
+	"ehdl/internal/fixed"
+	"ehdl/internal/harvest"
+	"ehdl/internal/intermittent"
+	"ehdl/internal/nn"
+	"ehdl/internal/quant"
+	"ehdl/internal/tails"
+)
+
+// testModel quantizes a randomly initialized mixed-layer model
+// covering every vector-op kind TAILS issues to the LEA (conv
+// windows, pooled/relu elements, dense row chunks, BCM FIR rows).
+func testModel(t *testing.T, seed int64) *quant.Model {
+	t.Helper()
+	arch := &nn.Arch{
+		Name: "tails-test", InShape: [3]int{1, 8, 8}, NumClasses: 4,
+		Specs: []nn.LayerSpec{
+			{Kind: "conv", InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3},
+			{Kind: "pool", InC: 4, InH: 6, InW: 6, PoolSize: 2},
+			{Kind: "relu", N: 4 * 3 * 3},
+			{Kind: "flatten", N: 36},
+			{Kind: "bcm", In: 36, Out: 16, K: 8, WeightNorm: true},
+			{Kind: "relu", N: 16},
+			{Kind: "dense", In: 16, Out: 4},
+		},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := arch.Build(rng)
+	calib := make([][]float64, 6)
+	for i := range calib {
+		x := make([]float64, arch.InLen())
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		calib[i] = x
+	}
+	m, err := quant.Quantize(net, arch, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randInput(n int, seed int64) []fixed.Q15 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]fixed.Q15, n)
+	for i := range x {
+		x[i] = fixed.FromFloat(rng.Float64()*2 - 1)
+	}
+	return x
+}
+
+func newEngine(t *testing.T, d *device.Device, m *quant.Model, in []fixed.Q15) *tails.Engine {
+	t.Helper()
+	store, err := exec.NewModelStore(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tails.New(d, store, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestIntermittentCompletionUnderSquareProfile: TAILS completes across
+// square-wave outages with logits bit-identical to the time-domain
+// reference executor (power failures roll back at most one in-flight
+// vector op; the committed FRAM state must make the replay exact).
+func TestIntermittentCompletionUnderSquareProfile(t *testing.T) {
+	m := testModel(t, 21)
+	in := randInput(64, 17)
+	want := quant.NewTimeExecutor(m).Forward(in)
+
+	cfg := harvest.PaperConfig()
+	cfg.CapacitanceF = 1.5e-6
+	prof, err := harvest.NewSquareProfile(8e-4, 0.02, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supply, err := harvest.NewCapacitor(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := device.New(device.DefaultCosts(), supply)
+	e := newEngine(t, d, m, in)
+	rep := exec.RunIntermittent(d, e, &intermittent.Runner{})
+	if !rep.Intermittent.Completed {
+		t.Fatalf("did not complete: %+v", rep.Intermittent)
+	}
+	if rep.Intermittent.Boots == 0 {
+		t.Fatal("completed in one charge — capacitor not undersized enough to exercise intermittence")
+	}
+	for i := range want {
+		if rep.Logits[i] != want[i] {
+			t.Fatalf("logit %d = %d, reference %d (boots=%d)",
+				i, rep.Logits[i], want[i], rep.Intermittent.Boots)
+		}
+	}
+}
+
+// TestProgressMonotonicAcrossBoots drives the boot loop by hand and
+// asserts the committed element counter never regresses across power
+// failures.
+func TestProgressMonotonicAcrossBoots(t *testing.T) {
+	m := testModel(t, 22)
+	in := randInput(64, 18)
+
+	cfg := harvest.PaperConfig()
+	cfg.CapacitanceF = 1.0e-6
+	supply, err := harvest.NewCapacitor(cfg, harvest.ConstantProfile{Watts: 4e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := device.New(device.DefaultCosts(), supply)
+	e := newEngine(t, d, m, in)
+
+	bootOnce := func() (completed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(device.PowerFailure); ok {
+					return // completed stays false
+				}
+				panic(r)
+			}
+		}()
+		if err := e.Boot(d); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+
+	last := e.Progress()
+	if last != 0 {
+		t.Fatalf("progress %d before first boot", last)
+	}
+	boots := 0
+	for !bootOnce() {
+		cur := e.Progress()
+		if cur < last {
+			t.Fatalf("progress moved backwards across boot %d: %d -> %d", boots, last, cur)
+		}
+		last = cur
+		boots++
+		if boots > 10000 {
+			t.Fatal("runaway boot loop")
+		}
+		if !d.Reboot() {
+			t.Fatal("supply exhausted under a live profile")
+		}
+	}
+	if boots == 0 {
+		t.Fatal("no power failures — test exercised nothing")
+	}
+	if e.Progress() <= 0 {
+		t.Fatal("no recorded progress after completion")
+	}
+}
+
+// TestDNFOnUndersizedCapacitor: when one charge cannot even cover one
+// vector-op task, TAILS replays the same element forever; the runner
+// must report a stagnation DNF instead of burning the boot limit.
+func TestDNFOnUndersizedCapacitor(t *testing.T) {
+	m := testModel(t, 23)
+	in := randInput(64, 19)
+
+	cfg := harvest.PaperConfig()
+	cfg.CapacitanceF = 0.05e-6
+	supply, err := harvest.NewCapacitor(cfg, harvest.ConstantProfile{Watts: 4e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := device.New(device.DefaultCosts(), supply)
+	e := newEngine(t, d, m, in)
+	rep := exec.RunIntermittent(d, e, &intermittent.Runner{})
+	if rep.Intermittent.Completed {
+		t.Fatal("completed on an undersized capacitor")
+	}
+	if !errors.Is(rep.Intermittent.Err, intermittent.ErrStagnant) {
+		t.Fatalf("err = %v, want ErrStagnant", rep.Intermittent.Err)
+	}
+}

@@ -8,6 +8,7 @@ package ehdl_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"sync"
@@ -383,6 +384,51 @@ func BenchmarkFleet(b *testing.B) {
 	b.ReportMetric(float64(len(scenarios))*float64(b.N)/b.Elapsed().Seconds(), "devices/s")
 	b.ReportMetric(100*rep.CompletionRate, "completion-%")
 	b.ReportMetric(float64(rep.TotalBoots), "boots")
+}
+
+// BenchmarkFleetStream measures the streaming fleet pipeline end to
+// end: scenarios built lazily from a source, simulated over the
+// worker pool, aggregated online (small exact-percentile threshold so
+// the histogram path is exercised), and every row delivered in order
+// to an NDJSON sink. Reported as simulated devices per second of host
+// time; the trajectory headline for fleet-scale runs.
+func BenchmarkFleetStream(b *testing.B) {
+	m, in := hostModel(b)
+	kinds := core.AllEngines()
+	const devices = 512
+	src := fleet.FuncSource(devices, func(i int) (fleet.Scenario, error) {
+		setup := core.PaperHarvestSetup()
+		setup.Config.CapacitanceF = 10e-6
+		setup.Profile = harvest.SquareProfile{
+			PeakWatts: 4e-3 + 1e-4*float64(i%10),
+			Period:    0.1,
+			Duty:      0.5,
+		}
+		return fleet.Scenario{
+			Name:   fmt.Sprintf("dev%04d", i),
+			Engine: kinds[i%len(kinds)],
+			Model:  m,
+			Input:  in,
+			Setup:  setup,
+		}, nil
+	})
+	var rep fleet.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = fleet.RunStream(src, fleet.StreamOptions{
+			ExactPercentiles: 64,
+			Sink:             fleet.NewNDJSONSink(io.Discard),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep.Devices != devices || rep.PercentilesExact {
+		b.Fatalf("unexpected report: %d devices, exact=%v", rep.Devices, rep.PercentilesExact)
+	}
+	b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "devices/s")
+	b.ReportMetric(100*rep.CompletionRate, "completion-%")
 }
 
 // BenchmarkCheckpointOverhead regenerates §IV-A.5: FLEX's

@@ -1,8 +1,9 @@
 // Command ehfleet simulates a deployment of energy-harvesting
 // devices: N independent nodes, each with its own capacitor, runtime
-// and (jittered) ambient profile, swept concurrently and folded into
-// one aggregate report — completion rate, boots, and simulated wall
-// time percentiles across the fleet.
+// and (jittered) ambient profile, streamed concurrently through the
+// fleet layer and folded into one aggregate report — completion rate,
+// boots, per-engine/per-profile breakdowns, and simulated wall time
+// percentiles across the fleet.
 //
 // Usage:
 //
@@ -10,7 +11,9 @@
 //	        [-profile square|sine|const|trace] [-power 5e-3]
 //	        [-period 0.1] [-duty 0.5] [-trace solar.csv] [-trace-repeat]
 //	        [-cap 100e-6] [-leak 0] [-workers 0] [-seed 1]
-//	ehfleet -scenarios fleet.json [-workers 0] [-seed 1]
+//	        [-out rows.ndjson] [-progress]
+//	ehfleet -scenarios fleet.json [-n 0] [-workers 0] [-seed 1]
+//	        [-out rows.ndjson] [-progress]
 //
 // The first form builds a homogeneous fleet from flags: -engine
 // accepts one runtime, a comma-separated list cycled across the
@@ -19,17 +22,25 @@
 //
 // The second form expands a declarative scenario file: a JSON
 // document of heterogeneous (engine × capacitance × profile/trace ×
-// model) device specs — see internal/cli.ScenarioFile for the schema
-// and examples/scenarios/ for a runnable example. Expansion is
-// deterministic for a given (file, seed) pair.
+// model) device specs — see examples/scenarios/README.md for the
+// schema reference. Expansion is deterministic for a given (file,
+// seed) pair. With -scenarios, -n overrides the fleet size: the
+// declared devices are truncated or cycled to exactly N.
+//
+// Scenarios are generated lazily and aggregated online, so -n scales
+// to millions of devices in constant memory; -out streams one NDJSON
+// row per device, in scenario order, and -progress reports throughput
+// on stderr while the fleet runs.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
+	"os"
 	"strings"
+	"time"
 
 	"ehdl/internal/cli"
 	"ehdl/internal/core"
@@ -38,13 +49,18 @@ import (
 	"ehdl/internal/harvest"
 )
 
+// rowTableLimit is the largest fleet whose per-device rows are still
+// printed to the terminal; larger fleets get the aggregate report
+// only (use -out for the rows).
+const rowTableLimit = 64
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ehfleet: ")
 
 	modelPath := flag.String("model", "", "model artifact from radtrain (flag mode)")
 	scenarios := flag.String("scenarios", "", "declarative scenario file (JSON); replaces the fleet-shape flags")
-	n := flag.Int("n", 16, "number of devices in the fleet")
+	n := flag.Int("n", 16, "number of devices in the fleet (with -scenarios: override the declared size; 0 keeps it)")
 	engines := flag.String("engine", "ace+flex", "runtime, comma-separated list, or \"all\"")
 	profile := flag.String("profile", "square", "harvest profile: square, sine, const, trace")
 	power := flag.Float64("power", 5e-3, "nominal peak harvested power in watts")
@@ -57,13 +73,18 @@ func main() {
 	leak := flag.Float64("leak", 0, "parasitic leakage in watts")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "dataset and jitter seed")
+	out := flag.String("out", "", "stream per-device rows to this NDJSON file")
+	progress := flag.Bool("progress", false, "report streaming progress on stderr")
 	flag.Parse()
 
+	var src fleet.Source
+	var header string
 	if *scenarios != "" {
-		// The fleet shape comes entirely from the file; an explicitly
-		// set shape flag would be silently ignored, so reject it.
+		// The fleet shape comes entirely from the file (-n resizes
+		// it); an explicitly set shape flag would be silently
+		// ignored, so reject it.
 		shapeFlags := map[string]bool{
-			"model": true, "n": true, "engine": true, "profile": true,
+			"model": true, "engine": true, "profile": true,
 			"power": true, "period": true, "duty": true, "trace": true,
 			"trace-repeat": true, "jitter": true, "cap": true, "leak": true,
 		}
@@ -72,75 +93,179 @@ func main() {
 				log.Fatalf("-%s has no effect with -scenarios (the scenario file declares the fleet shape)", f.Name)
 			}
 		})
-		fleetScenarios, err := cli.LoadScenarios(*scenarios, *seed)
+		fileSrc, err := cli.LoadFleetSource(*scenarios, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep := fleet.Run(fleetScenarios, *workers)
-		fmt.Printf("scenario file: %s   devices: %d\n", *scenarios, len(fleetScenarios))
-		fmt.Print(fleet.RenderReport(rep))
-		return
+		nSet := false
+		flag.Visit(func(f *flag.Flag) { nSet = nSet || f.Name == "n" })
+		if nSet {
+			switch {
+			case *n < 0:
+				log.Fatalf("-n must be >= 0, got %d", *n)
+			case *n > 0:
+				fileSrc = fileSrc.Resize(*n)
+			}
+			// -n 0 keeps the declared size, as the flag help says.
+		}
+		src = fileSrc
+		header = fmt.Sprintf("scenario file: %s   devices: %d", *scenarios, src.Len())
+	} else {
+		var err error
+		if src, err = flagSource(flagFleet{
+			model:       *modelPath,
+			engines:     *engines,
+			profile:     *profile,
+			power:       *power,
+			period:      *period,
+			duty:        *duty,
+			trace:       *tracePath,
+			traceRepeat: *traceRepeat,
+			jitter:      *jitter,
+			capF:        *capF,
+			leak:        *leak,
+			n:           *n,
+			seed:        *seed,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		header = fmt.Sprintf("model: %s   profile: %s %.1f mW ±%.0f%%   cap: %.0f uF   devices: %d",
+			*modelPath, *profile, *power*1e3, *jitter*100, *capF*1e6, src.Len())
 	}
 
-	if *modelPath == "" {
-		log.Fatal("-model or -scenarios is required")
+	opts := fleet.StreamOptions{Workers: *workers}
+
+	var sinks []fleet.Sink
+	var flush func() error
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		sinks = append(sinks, fleet.NewNDJSONSink(w))
+		flush = func() error {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
 	}
-	if *jitter < 0 || *jitter >= 1 {
-		log.Fatalf("-jitter must be in [0, 1), got %g", *jitter)
+	var collect *fleet.Collector
+	if src.Len() <= rowTableLimit {
+		collect = &fleet.Collector{}
+		sinks = append(sinks, collect)
 	}
-	m, err := cli.LoadModel(*modelPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	set, err := cli.DatasetFor(m, *seed)
-	if err != nil {
-		log.Fatal(err)
+	if len(sinks) > 0 {
+		opts.Sink = fleet.MultiSink(sinks...)
 	}
 
-	kinds, err := parseEngines(*engines)
+	if *progress {
+		start := time.Now()
+		opts.Progress = func(done, total int) {
+			elapsed := time.Since(start).Seconds()
+			rate := float64(done) / elapsed
+			fmt.Fprintf(os.Stderr, "ehfleet: %d/%d devices (%.0f/s, %.0fs elapsed)\n",
+				done, total, rate, elapsed)
+		}
+	}
+
+	rep, err := fleet.RunStream(src, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if flush != nil {
+		if err := flush(); err != nil {
+			log.Fatalf("writing %s: %v", *out, err)
+		}
+	}
+	if collect != nil {
+		rep.Results = collect.Rows
+	}
+	fmt.Println(header)
+	fmt.Print(fleet.RenderReport(rep))
+}
+
+// flagFleet is the parsed flag-mode fleet shape.
+type flagFleet struct {
+	model       string
+	engines     string
+	profile     string
+	trace       string
+	traceRepeat bool
+	power       float64
+	period      float64
+	duty        float64
+	jitter      float64
+	capF        float64
+	leak        float64
+	n           int
+	seed        int64
+}
+
+// flagSource builds the homogeneous flag-mode fleet as a lazy source:
+// the model, dataset and converted inputs are shared, and each
+// device's profile is built on demand from its index alone.
+func flagSource(f flagFleet) (fleet.Source, error) {
+	if f.model == "" {
+		return nil, fmt.Errorf("-model or -scenarios is required")
+	}
+	if f.jitter < 0 || f.jitter >= 1 {
+		return nil, fmt.Errorf("-jitter must be in [0, 1), got %g", f.jitter)
+	}
+	if f.n < 1 {
+		return nil, fmt.Errorf("-n must be >= 1, got %d", f.n)
+	}
+	m, err := cli.LoadModel(f.model)
+	if err != nil {
+		return nil, err
+	}
+	set, err := cli.DatasetFor(m, f.seed)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([][]fixed.Q15, len(set.Test))
+	for i := range set.Test {
+		inputs[i] = fixed.FromFloats(set.Test[i].Input)
+	}
+
+	kinds, err := parseEngines(f.engines)
+	if err != nil {
+		return nil, err
 	}
 	var baseTrace *harvest.TraceProfile
-	if *profile == "trace" {
-		if *tracePath == "" {
-			log.Fatal("-profile trace requires -trace FILE")
+	if f.profile == "trace" {
+		if f.trace == "" {
+			return nil, fmt.Errorf("-profile trace requires -trace FILE")
 		}
-		baseTrace, err = harvest.LoadTraceFile(*tracePath, *traceRepeat)
-		if err != nil {
-			log.Fatal(err)
+		if baseTrace, err = harvest.LoadTraceFile(f.trace, f.traceRepeat); err != nil {
+			return nil, err
 		}
+	}
+	// Validate the waveform once at the unjittered scale, so a bad
+	// flag fails before the fleet starts.
+	if _, err := cli.BuildProfile(f.profile, f.power, f.period, f.duty, baseTrace, 1); err != nil {
+		return nil, err
 	}
 
 	cfg := harvest.PaperConfig()
-	cfg.CapacitanceF = *capF
-	cfg.LeakageW = *leak
+	cfg.CapacitanceF = f.capF
+	cfg.LeakageW = f.leak
 
-	rng := rand.New(rand.NewSource(*seed))
-	fleetScenarios := make([]fleet.Scenario, *n)
-	for i := range fleetScenarios {
-		scale := 1 + *jitter*(2*rng.Float64()-1)
-		prof, err := cli.BuildProfile(*profile, *power, *period, *duty, baseTrace, scale)
+	return fleet.FuncSource(f.n, func(i int) (fleet.Scenario, error) {
+		prof, err := cli.BuildProfile(f.profile, f.power, f.period, f.duty, baseTrace,
+			cli.JitterScale(f.seed, i, f.jitter))
 		if err != nil {
-			log.Fatal(err)
+			return fleet.Scenario{}, err
 		}
-		s, err := cli.Sample(set, i%len(set.Test))
-		if err != nil {
-			log.Fatal(err)
-		}
-		fleetScenarios[i] = fleet.Scenario{
+		return fleet.Scenario{
 			Name:   fmt.Sprintf("dev%02d", i),
 			Engine: kinds[i%len(kinds)],
 			Model:  m,
-			Input:  fixed.FromFloats(s.Input),
+			Input:  inputs[i%len(inputs)],
 			Setup:  core.HarvestSetup{Config: cfg, Profile: prof},
-		}
-	}
-
-	rep := fleet.Run(fleetScenarios, *workers)
-	fmt.Printf("model: %s   profile: %s %.1f mW ±%.0f%%   cap: %.0f uF\n",
-		m.Name, *profile, *power*1e3, *jitter*100, *capF*1e6)
-	fmt.Print(fleet.RenderReport(rep))
+		}, nil
+	}), nil
 }
 
 // parseEngines expands the -engine flag into a runtime cycle.

@@ -17,6 +17,8 @@
 package ehdl
 
 import (
+	"io"
+
 	"ehdl/internal/cli"
 	"ehdl/internal/core"
 	"ehdl/internal/dataset"
@@ -122,16 +124,64 @@ func InferHarvested(engine Engine, m *Model, input []float64, h Harvest) (Report
 // inference under one harvesting setup on one runtime.
 type FleetScenario = fleet.Scenario
 
-// FleetReport aggregates a fleet run: ordered per-device results plus
-// completion rate, boots, and simulated wall-time percentiles.
+// FleetReport aggregates a fleet run: completion rate, boots,
+// per-engine/per-profile breakdowns, simulated wall-time percentiles,
+// and (for materializing runs) ordered per-device results.
 type FleetReport = fleet.Report
+
+// NewFleetScenario builds one fleet device from a float input vector
+// (converted to the device's Q1.15 format).
+func NewFleetScenario(name string, engine Engine, m *Model, input []float64, h Harvest) FleetScenario {
+	return fleet.Scenario{
+		Name:   name,
+		Engine: engine,
+		Model:  m,
+		Input:  fixed.FromFloats(input),
+		Setup:  h,
+	}
+}
 
 // RunFleet sweeps the scenarios concurrently over at most workers
 // goroutines (<= 0: GOMAXPROCS); results are deterministic and in
-// scenario order regardless of scheduling.
+// scenario order regardless of scheduling. It materializes one result
+// row per scenario — use StreamFleet for fleets too large to hold.
 func RunFleet(scenarios []FleetScenario, workers int) FleetReport {
 	return fleet.Run(scenarios, workers)
 }
 
 // RenderFleetReport formats a fleet report for terminals.
 func RenderFleetReport(r FleetReport) string { return fleet.RenderReport(r) }
+
+// FleetSource lazily yields a fleet's scenarios (see FleetSourceFunc).
+type FleetSource = fleet.Source
+
+// FleetSink consumes per-device rows in scenario order as a fleet
+// streams (see FleetNDJSONSink).
+type FleetSink = fleet.Sink
+
+// FleetStreamOptions configures StreamFleet: worker pool size, the
+// exact-percentile threshold, an ordered row sink, and a progress
+// callback.
+type FleetStreamOptions = fleet.StreamOptions
+
+// FleetSourceFunc adapts a generator to a FleetSource: n devices,
+// scenario i built on demand by fn, which must be safe for concurrent
+// calls.
+func FleetSourceFunc(n int, fn func(i int) (FleetScenario, error)) FleetSource {
+	return fleet.FuncSource(n, fn)
+}
+
+// FleetNDJSONSink streams one JSON row per device to w, in scenario
+// order (wrap files in a bufio.Writer and flush after StreamFleet).
+func FleetNDJSONSink(w io.Writer) FleetSink { return fleet.NewNDJSONSink(w) }
+
+// StreamFleet simulates a fleet without materializing it: scenarios
+// are generated on demand, rows stream through the optional sink in
+// scenario order, and the report is aggregated online in constant
+// memory — wall-time percentiles are exact up to the threshold in
+// FleetStreamOptions and fixed-bin histogram estimates (±~1%) above
+// it. The report is bit-identical to RunFleet for fleets within the
+// threshold.
+func StreamFleet(src FleetSource, opts FleetStreamOptions) (FleetReport, error) {
+	return fleet.RunStream(src, opts)
+}

@@ -1,0 +1,93 @@
+package ehdl_test
+
+// Runnable godoc examples for the ehdl facade. Everything here is
+// deterministic — the dataset generators, training and the device
+// simulation are all seeded — so the Output blocks are exact and the
+// examples double as tests.
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"ehdl"
+)
+
+var (
+	exampleOnce sync.Once
+	exampleM    *ehdl.Model
+	exampleSet  *ehdl.Set
+)
+
+// exampleModel trains one small HAR model shared by the examples
+// (reduced budget: the examples demonstrate the API, not Table II).
+func exampleModel() (*ehdl.Model, *ehdl.Set) {
+	exampleOnce.Do(func() {
+		set := ehdl.HAR(60, 12, 1)
+		opts := ehdl.DefaultTrainOptions()
+		opts.Train.Epochs = 1
+		opts.ADMM.Rounds = 1
+		opts.ADMM.Train.Epochs = 1
+		res, err := ehdl.Train(ehdl.HARArch(), set, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exampleM, exampleSet = res.Model, set
+	})
+	return exampleM, exampleSet
+}
+
+// ExampleInfer runs one measured inference on continuous (bench)
+// power and reads the prediction back.
+func ExampleInfer() {
+	model, set := exampleModel()
+	rep, err := ehdl.Infer(ehdl.ACEFLEX, model, set.Test[0].Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted %s (true %s)\n",
+		set.ClassNames[rep.Predicted], set.ClassNames[set.Test[0].Label])
+	// Output: predicted sitting (true sitting)
+}
+
+// ExampleRunFleet simulates a small deployment: four devices under
+// the paper's harvesting setup, swept concurrently into one report.
+func ExampleRunFleet() {
+	model, set := exampleModel()
+	var scenarios []ehdl.FleetScenario
+	for i := 0; i < 4; i++ {
+		scenarios = append(scenarios, ehdl.NewFleetScenario(
+			fmt.Sprintf("node%d", i), ehdl.ACEFLEX, model,
+			set.Test[i].Input, ehdl.PaperHarvest()))
+	}
+	rep := ehdl.RunFleet(scenarios, 2)
+	fmt.Printf("devices: %d, completed: %d\n", rep.Devices, rep.Completed)
+	for _, r := range rep.Results {
+		fmt.Printf("%s: %s\n", r.Name, set.ClassNames[r.Predicted])
+	}
+	// Output:
+	// devices: 4, completed: 4
+	// node0: sitting
+	// node1: sitting
+	// node2: upstairs
+	// node3: laying
+}
+
+// ExampleStreamFleet streams a fleet that is never materialized: the
+// source builds each scenario on demand and the report is aggregated
+// online, so the same code scales to millions of devices.
+func ExampleStreamFleet() {
+	model, set := exampleModel()
+	src := ehdl.FleetSourceFunc(100, func(i int) (ehdl.FleetScenario, error) {
+		return ehdl.NewFleetScenario(
+			fmt.Sprintf("node%d", i), ehdl.ACEFLEX, model,
+			set.Test[i%len(set.Test)].Input, ehdl.PaperHarvest()), nil
+	})
+	rep, err := ehdl.StreamFleet(src, ehdl.FleetStreamOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("devices: %d, completed: %d, exact percentiles: %v\n",
+		rep.Devices, rep.Completed, rep.PercentilesExact)
+	// Output: devices: 100, completed: 100, exact percentiles: true
+}

@@ -1,0 +1,200 @@
+package cli
+
+// Pins every JSON artifact the documentation ships. The checked-in
+// scenario files under examples/scenarios/ must compile end to end
+// (models, traces and all), and every ```json fenced block in the
+// repository's markdown must be valid JSON — scenario-shaped snippets
+// are additionally held to the strict schema, and ```ndjson blocks
+// are validated line by line. A doc edit that breaks a copy-pasteable
+// example fails go test ./... (and therefore CI).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestCheckedInScenarioFilesCompile: every scenario document shipped
+// under examples/scenarios/ must not just parse but fully compile —
+// traces load, profiles validate, every device builds. Model
+// artifacts are generated, never committed (*.gob is gitignored), so
+// each document is compiled from a temp bundle holding the real
+// document and traces plus a freshly quantized mnist.gob standing in
+// for the one `radtrain` writes.
+func TestCheckedInScenarioFilesCompile(t *testing.T) {
+	root := repoRoot(t)
+	dir := filepath.Join(root, "examples", "scenarios")
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no scenario files under examples/scenarios/ — the glob or the examples moved")
+	}
+
+	bundle := t.TempDir()
+	traces, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trace := range traces {
+		raw, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(bundle, filepath.Base(trace)), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := SaveModel(filepath.Join(bundle, "mnist.gob"), testMNISTModel(t, 21)); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range matches {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			staged := filepath.Join(bundle, filepath.Base(path))
+			if err := os.WriteFile(staged, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			src, err := LoadFleetSource(staged, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if src.Len() < 1 {
+				t.Fatal("compiled to an empty fleet")
+			}
+			// Every declared spec must actually build a device.
+			for i := 0; i < src.Len(); i += 1 + (src.Len()-1)/16 {
+				if _, err := src.At(i); err != nil {
+					t.Fatalf("device %d: %v", i, err)
+				}
+			}
+			if _, err := src.At(src.Len() - 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// markdownFiles returns every .md file in the repo (skipping VCS and
+// build dirs).
+func markdownFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "bin", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// fencedBlocks extracts ```<lang> code fences from markdown.
+func fencedBlocks(text, lang string) []string {
+	var blocks []string
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```"+lang {
+			continue
+		}
+		var body []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			body = append(body, lines[i])
+		}
+		blocks = append(blocks, strings.Join(body, "\n"))
+	}
+	return blocks
+}
+
+// TestDocJSONSnippetsParse: every ```json block in the docs is valid
+// JSON; blocks that look like scenario documents must survive the
+// strict schema decode (unknown fields rejected), so the docs cannot
+// drift from the loader. ```ndjson blocks are valid JSON per line.
+func TestDocJSONSnippetsParse(t *testing.T) {
+	root := repoRoot(t)
+	jsonBlocks, ndjsonBlocks := 0, 0
+	for _, path := range markdownFiles(t, root) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := filepath.Rel(root, path)
+		for bi, block := range fencedBlocks(string(raw), "json") {
+			jsonBlocks++
+			name := fmt.Sprintf("%s block %d", rel, bi)
+			var doc any
+			if err := json.Unmarshal([]byte(block), &doc); err != nil {
+				t.Errorf("%s: invalid JSON: %v\n%s", name, err, block)
+				continue
+			}
+			if obj, ok := doc.(map[string]any); ok {
+				if _, isScenario := obj["devices"]; isScenario {
+					if _, err := DecodeScenarioFile(strings.NewReader(block)); err != nil {
+						t.Errorf("%s: scenario snippet fails the strict schema: %v", name, err)
+					}
+				}
+			}
+		}
+		for bi, block := range fencedBlocks(string(raw), "ndjson") {
+			ndjsonBlocks++
+			for li, line := range strings.Split(block, "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" {
+					continue
+				}
+				if !json.Valid([]byte(line)) {
+					t.Errorf("%s ndjson block %d line %d: invalid JSON: %s", rel, bi, li, line)
+				}
+			}
+		}
+	}
+	// The README ships at least one scenario snippet and one NDJSON
+	// sample; zero found means the fence scanner (or the docs) broke.
+	if jsonBlocks == 0 {
+		t.Error("no ```json blocks found in any markdown file")
+	}
+	if ndjsonBlocks == 0 {
+		t.Error("no ```ndjson blocks found in any markdown file")
+	}
+}

@@ -1,24 +1,20 @@
 package cli
 
-// This file implements declarative fleet scenarios: one JSON document
-// declares N heterogeneous device specs — engine × capacitance ×
-// harvest profile (or trace) × model — and expands into the concrete
-// fleet.Scenarios cmd/ehfleet simulates. The expansion is fully
-// deterministic for a given (file, seed) pair.
+// This file declares the fleet scenario-file schema: one JSON
+// document declares N heterogeneous device specs — engine ×
+// capacitance × harvest profile (or trace) × model — which
+// internal/cli compiles into a lazy fleet.Source (see source.go).
+// The expansion is fully deterministic for a given (file, seed) pair.
+// examples/scenarios/README.md is the complete field reference.
 
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
 	"path/filepath"
 
-	"ehdl/internal/core"
-	"ehdl/internal/dataset"
-	"ehdl/internal/fixed"
-	"ehdl/internal/fleet"
 	"ehdl/internal/harvest"
-	"ehdl/internal/quant"
 )
 
 // ScenarioFile is the on-disk schema:
@@ -93,67 +89,38 @@ const (
 
 var paperProfile = ProfileSpec{Kind: "square"}
 
-// ParseScenarioFile strictly decodes a scenario document.
+// DecodeScenarioFile strictly decodes a scenario document from r:
+// unknown fields, trailing data and an empty device list are all
+// rejected. This is the schema check alone — ParseScenarioFile for
+// files, LoadFleetSource to also load the artifacts it names.
+func DecodeScenarioFile(r io.Reader) (*ScenarioFile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sf ScenarioFile
+	if err := dec.Decode(&sf); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after the document")
+	}
+	if len(sf.Devices) == 0 {
+		return nil, fmt.Errorf("no devices declared")
+	}
+	return &sf, nil
+}
+
+// ParseScenarioFile strictly decodes the scenario document at path.
 func ParseScenarioFile(path string) (*ScenarioFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("scenario file: %w", err)
 	}
 	defer f.Close()
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	var sf ScenarioFile
-	if err := dec.Decode(&sf); err != nil {
+	sf, err := DecodeScenarioFile(f)
+	if err != nil {
 		return nil, fmt.Errorf("scenario file %s: %w", path, err)
 	}
-	if dec.More() {
-		return nil, fmt.Errorf("scenario file %s: trailing data after the document", path)
-	}
-	if len(sf.Devices) == 0 {
-		return nil, fmt.Errorf("scenario file %s: no devices declared", path)
-	}
-	return &sf, nil
-}
-
-// LoadScenarios parses the scenario file at path and expands it into
-// concrete fleet scenarios. Each distinct model artifact is loaded and
-// validated once; datasets and traces are likewise shared across
-// devices. seed drives jitter and the dataset generators, so the same
-// (file, seed) pair always expands to an identical fleet.
-func LoadScenarios(path string, seed int64) ([]fleet.Scenario, error) {
-	sf, err := ParseScenarioFile(path)
-	if err != nil {
-		return nil, err
-	}
-	x := &expander{
-		baseDir: filepath.Dir(path),
-		seed:    seed,
-		rng:     rand.New(rand.NewSource(seed)),
-		models:  map[string]*quant.Model{},
-		sets:    map[string]*dataset.Set{},
-		traces:  map[string]*harvest.TraceProfile{},
-	}
-	var scenarios []fleet.Scenario
-	for di := range sf.Devices {
-		expanded, err := x.expand(&sf.Defaults, &sf.Devices[di], di)
-		if err != nil {
-			return nil, fmt.Errorf("scenario file %s: device %d (%s): %w",
-				path, di, specName(&sf.Devices[di], di), err)
-		}
-		scenarios = append(scenarios, expanded...)
-	}
-	return scenarios, nil
-}
-
-// expander carries the shared state of one scenario expansion.
-type expander struct {
-	baseDir string
-	seed    int64
-	rng     *rand.Rand
-	next    int // global expanded-device index, for sample cycling
-	models  map[string]*quant.Model
-	sets    map[string]*dataset.Set
-	traces  map[string]*harvest.TraceProfile
+	return sf, nil
 }
 
 func specName(d *DeviceSpec, idx int) string {
@@ -163,151 +130,9 @@ func specName(d *DeviceSpec, idx int) string {
 	return fmt.Sprintf("dev%02d", idx)
 }
 
-// expand resolves device spec di (with defaults) into count concrete
-// scenarios.
-func (x *expander) expand(def, d *DeviceSpec, di int) ([]fleet.Scenario, error) {
-	count := 1
-	if c := pick(d.Count, def.Count); c != nil {
-		count = *c
-	}
-	if count < 1 {
-		return nil, fmt.Errorf("count must be >= 1, got %d", count)
-	}
-
-	modelPath := d.Model
-	if modelPath == "" {
-		modelPath = def.Model
-	}
-	if modelPath == "" {
-		return nil, fmt.Errorf("no model path (set it on the device or in defaults)")
-	}
-	m, set, err := x.model(modelPath)
-	if err != nil {
-		return nil, err
-	}
-
-	engineName := d.Engine
-	if engineName == "" {
-		engineName = def.Engine
-	}
-	if engineName == "" {
-		engineName = string(core.EngineACEFLEX)
-	}
-	engine, err := ParseEngine(engineName)
-	if err != nil {
-		return nil, err
-	}
-
-	cfg := harvest.PaperConfig()
-	if c := pick(d.CapF, def.CapF); c != nil {
-		cfg.CapacitanceF = *c
-	}
-	if l := pick(d.LeakW, def.LeakW); l != nil {
-		cfg.LeakageW = *l
-	}
-
-	jitter := 0.0
-	if j := pick(d.Jitter, def.Jitter); j != nil {
-		jitter = *j
-	}
-	if jitter < 0 || jitter >= 1 {
-		return nil, fmt.Errorf("jitter must be in [0, 1), got %g", jitter)
-	}
-
-	prof := paperProfile
-	if p := d.Profile; p != nil {
-		prof = *p
-	} else if def.Profile != nil {
-		prof = *def.Profile
-	}
-
-	name := specName(d, di)
-	out := make([]fleet.Scenario, 0, count)
-	for i := 0; i < count; i++ {
-		// One jitter draw per expanded device, always, so the fleet
-		// layout does not shift when one spec toggles jitter on.
-		scale := 1 + jitter*(2*x.rng.Float64()-1)
-		profile, err := x.profile(prof, scale)
-		if err != nil {
-			return nil, err
-		}
-
-		sampleIdx := x.next % len(set.Test)
-		if s := pick(d.Sample, def.Sample); s != nil {
-			sampleIdx = *s
-		}
-		sample, err := Sample(set, sampleIdx)
-		if err != nil {
-			return nil, err
-		}
-		x.next++
-
-		devName := name
-		if count > 1 {
-			devName = fmt.Sprintf("%s/%d", name, i)
-		}
-		out = append(out, fleet.Scenario{
-			Name:   devName,
-			Engine: engine,
-			Model:  m,
-			Input:  fixed.FromFloats(sample.Input),
-			Setup:  core.HarvestSetup{Config: cfg, Profile: profile},
-		})
-	}
-	return out, nil
-}
-
-// model loads (once) the artifact at path and the dataset matching it.
-func (x *expander) model(path string) (*quant.Model, *dataset.Set, error) {
-	resolved := x.resolve(path)
-	m, ok := x.models[resolved]
-	if !ok {
-		var err error
-		if m, err = LoadModel(resolved); err != nil {
-			return nil, nil, err
-		}
-		x.models[resolved] = m
-	}
-	set, ok := x.sets[m.Name]
-	if !ok {
-		var err error
-		if set, err = DatasetFor(m, x.seed); err != nil {
-			return nil, nil, err
-		}
-		x.sets[m.Name] = set
-	}
-	return m, set, nil
-}
-
-// profile constructs the harvest profile with the device's power
-// scale applied, resolving unset fields to the paper defaults and
-// loading (once) the trace the spec names.
-func (x *expander) profile(p ProfileSpec, scale float64) (harvest.Profile, error) {
-	var tr *harvest.TraceProfile
-	if p.Kind == "trace" {
-		if p.Trace == "" {
-			return nil, fmt.Errorf(`profile kind "trace" needs a "trace" CSV path`)
-		}
-		resolved := x.resolve(p.Trace)
-		var ok bool
-		if tr, ok = x.traces[traceKey(resolved, p.Repeat)]; !ok {
-			var err error
-			if tr, err = harvest.LoadTraceFile(resolved, p.Repeat); err != nil {
-				return nil, err
-			}
-			x.traces[traceKey(resolved, p.Repeat)] = tr
-		}
-	}
-	return BuildProfile(p.Kind,
-		orDefault(p.PowerW, defaultPowerW),
-		orDefault(p.Period, defaultPeriod),
-		orDefault(p.Duty, defaultDuty),
-		tr, scale)
-}
-
 // BuildProfile constructs a validated harvest profile — the one
 // waveform switch behind ehsim, ehfleet's flag mode and the scenario
-// expander. power/period/duty apply where the kind uses them; trace
+// source. power/period/duty apply where the kind uses them; trace
 // must be the preloaded trace for kind "trace"; scale multiplies the
 // profile's power (per-device jitter; pass 1 for none).
 func BuildProfile(kind string, power, period, duty float64, trace *harvest.TraceProfile, scale float64) (harvest.Profile, error) {
@@ -321,6 +146,11 @@ func BuildProfile(kind string, power, period, duty float64, trace *harvest.Trace
 	case "trace":
 		if trace == nil {
 			return nil, fmt.Errorf(`profile kind "trace" needs a harvesting trace`)
+		}
+		if scale == 1 {
+			// TraceProfile is immutable, so jitter-free devices share
+			// the loaded trace instead of copying it per device.
+			return trace, nil
 		}
 		scaled, err := trace.Scale(scale)
 		if err != nil {
@@ -338,12 +168,12 @@ func traceKey(path string, repeat bool) string {
 	return fmt.Sprintf("%s|%v", path, repeat)
 }
 
-// resolve anchors a relative path at the scenario file's directory.
-func (x *expander) resolve(path string) string {
+// resolvePath anchors a relative path at the scenario file's directory.
+func resolvePath(baseDir, path string) string {
 	if filepath.IsAbs(path) {
 		return path
 	}
-	return filepath.Join(x.baseDir, path)
+	return filepath.Join(baseDir, path)
 }
 
 // pick returns the device-level value when set, else the default.

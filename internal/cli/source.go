@@ -1,0 +1,326 @@
+package cli
+
+// This file compiles a scenario file into a lazy fleet.Source: every
+// cross-device resource — model artifacts, datasets, converted test
+// inputs, harvest traces — is loaded and validated once up front, and
+// individual fleet.Scenarios are then built on demand. A
+// million-device fleet costs O(specs) memory to hold, not O(devices):
+// cmd/ehfleet streams scenarios straight from the source into
+// fleet.RunStream. Per-device randomness (the jitter draw) is keyed
+// by (seed, global device index), so expansion is deterministic and
+// order-free — device i is the same scenario whether the fleet is
+// materialized, streamed, or resized.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"ehdl/internal/core"
+	"ehdl/internal/dataset"
+	"ehdl/internal/fixed"
+	"ehdl/internal/fleet"
+	"ehdl/internal/harvest"
+	"ehdl/internal/quant"
+)
+
+// compiledSpec is one fully-resolved device spec: everything shared
+// by its expanded devices, loaded and validated.
+type compiledSpec struct {
+	name   string
+	count  int
+	engine core.EngineKind
+	cfg    harvest.Config
+	jitter float64
+	prof   ProfileSpec
+	trace  *harvest.TraceProfile // preloaded for kind "trace"
+	model  *quant.Model
+	set    *dataset.Set
+	inputs [][]fixed.Q15 // test set converted to Q15, shared read-only
+	sample *int          // explicit test-sample override
+}
+
+// FleetSource is a compiled scenario file: a lazy, concurrency-safe
+// fleet.Source over the declared (or resized) device fleet.
+type FleetSource struct {
+	n       int // fleet size (== natural unless resized)
+	natural int // devices the file declares
+	seed    int64
+	specs   []compiledSpec
+	cum     []int // cum[k] = first natural index of spec k; len(specs)+1
+}
+
+// LoadFleetSource parses and compiles the scenario file at path.
+// Every model artifact, dataset and trace is loaded and validated
+// here, once; the returned source builds scenarios on demand and is
+// safe for concurrent At calls. seed drives the jitter draws and the
+// dataset generators, so the same (file, seed) pair always describes
+// an identical fleet.
+func LoadFleetSource(path string, seed int64) (*FleetSource, error) {
+	sf, err := ParseScenarioFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		baseDir: filepath.Dir(path),
+		seed:    seed,
+		models:  map[string]*quant.Model{},
+		sets:    map[string]*dataset.Set{},
+		inputs:  map[string][][]fixed.Q15{},
+		traces:  map[string]*harvest.TraceProfile{},
+	}
+	src := &FleetSource{seed: seed, cum: []int{0}}
+	for di := range sf.Devices {
+		spec, err := c.compile(&sf.Defaults, &sf.Devices[di], di)
+		if err != nil {
+			return nil, fmt.Errorf("scenario file %s: device %d (%s): %w",
+				path, di, specName(&sf.Devices[di], di), err)
+		}
+		src.specs = append(src.specs, spec)
+		src.natural += spec.count
+		src.cum = append(src.cum, src.natural)
+	}
+	src.n = src.natural
+	return src, nil
+}
+
+// Len implements fleet.Source.
+func (s *FleetSource) Len() int { return s.n }
+
+// Resize returns a view of the source with exactly n devices: the
+// declared fleet is truncated or cycled (device i maps to declared
+// device i mod the natural size), with jitter and sample cycling
+// keyed by the global index so every clone is a distinct device.
+// Resized fleets name devices "spec/i" with the global index. n <= 0
+// restores the natural size.
+func (s *FleetSource) Resize(n int) *FleetSource {
+	out := *s
+	if n <= 0 {
+		n = s.natural
+	}
+	out.n = n
+	return &out
+}
+
+// At implements fleet.Source: it builds scenario i from the compiled
+// specs. The model pointer, dataset and converted input are shared
+// across every device that uses them; only the per-device profile is
+// constructed here.
+func (s *FleetSource) At(i int) (fleet.Scenario, error) {
+	if i < 0 || i >= s.n {
+		return fleet.Scenario{}, fmt.Errorf("device %d out of range (fleet has %d)", i, s.n)
+	}
+	base := i % s.natural
+	k := sort.Search(len(s.specs), func(k int) bool { return s.cum[k+1] > base })
+	spec := &s.specs[k]
+
+	profile, err := s.buildProfile(spec, i)
+	if err != nil {
+		return fleet.Scenario{}, err
+	}
+	sampleIdx := i % len(spec.inputs)
+	if spec.sample != nil {
+		sampleIdx = *spec.sample
+	}
+	name := spec.name
+	switch {
+	case s.n != s.natural:
+		name = fmt.Sprintf("%s/%d", spec.name, i)
+	case spec.count > 1:
+		name = fmt.Sprintf("%s/%d", spec.name, base-s.cum[k])
+	}
+	return fleet.Scenario{
+		Name:   name,
+		Engine: spec.engine,
+		Model:  spec.model,
+		Input:  spec.inputs[sampleIdx],
+		Setup:  core.HarvestSetup{Config: spec.cfg, Profile: profile},
+	}, nil
+}
+
+func (s *FleetSource) buildProfile(spec *compiledSpec, i int) (harvest.Profile, error) {
+	scale := JitterScale(s.seed, i, spec.jitter)
+	return BuildProfile(spec.prof.Kind,
+		orDefault(spec.prof.PowerW, defaultPowerW),
+		orDefault(spec.prof.Period, defaultPeriod),
+		orDefault(spec.prof.Duty, defaultDuty),
+		spec.trace, scale)
+}
+
+// JitterScale is the deterministic per-device harvest-power spread:
+// a uniform draw in [1-jitter, 1+jitter] keyed by (seed, device
+// index) alone, so any device of any fleet size can be built
+// independently — no shared rng stream to replay.
+func JitterScale(seed int64, i int, jitter float64) float64 {
+	if jitter == 0 {
+		return 1
+	}
+	return 1 + jitter*(2*unitFloat(seed, i)-1)
+}
+
+// unitFloat maps (seed, i) to a uniform float64 in [0, 1) via a
+// splitmix64 finalizer.
+func unitFloat(seed int64, i int) float64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// compiler carries the shared state of one compilation: each distinct
+// model artifact, dataset, converted input set and trace is loaded
+// once and shared by every spec that names it.
+type compiler struct {
+	baseDir string
+	seed    int64
+	models  map[string]*quant.Model
+	sets    map[string]*dataset.Set
+	inputs  map[string][][]fixed.Q15
+	traces  map[string]*harvest.TraceProfile
+}
+
+// compile resolves one device spec (with defaults) into its shared,
+// validated form. Everything that can fail is checked here so that
+// FleetSource.At cannot surprise a million-device run midway.
+func (c *compiler) compile(def, d *DeviceSpec, di int) (compiledSpec, error) {
+	spec := compiledSpec{name: specName(d, di), count: 1}
+	if cnt := pick(d.Count, def.Count); cnt != nil {
+		spec.count = *cnt
+	}
+	if spec.count < 1 {
+		return spec, fmt.Errorf("count must be >= 1, got %d", spec.count)
+	}
+
+	modelPath := d.Model
+	if modelPath == "" {
+		modelPath = def.Model
+	}
+	if modelPath == "" {
+		return spec, fmt.Errorf("no model path (set it on the device or in defaults)")
+	}
+	var err error
+	if spec.model, spec.set, spec.inputs, err = c.model(modelPath); err != nil {
+		return spec, err
+	}
+
+	engineName := d.Engine
+	if engineName == "" {
+		engineName = def.Engine
+	}
+	if engineName == "" {
+		engineName = string(core.EngineACEFLEX)
+	}
+	if spec.engine, err = ParseEngine(engineName); err != nil {
+		return spec, err
+	}
+
+	spec.cfg = harvest.PaperConfig()
+	if cp := pick(d.CapF, def.CapF); cp != nil {
+		spec.cfg.CapacitanceF = *cp
+	}
+	if l := pick(d.LeakW, def.LeakW); l != nil {
+		spec.cfg.LeakageW = *l
+	}
+
+	if j := pick(d.Jitter, def.Jitter); j != nil {
+		spec.jitter = *j
+	}
+	if spec.jitter < 0 || spec.jitter >= 1 {
+		return spec, fmt.Errorf("jitter must be in [0, 1), got %g", spec.jitter)
+	}
+
+	spec.prof = paperProfile
+	if p := d.Profile; p != nil {
+		spec.prof = *p
+	} else if def.Profile != nil {
+		spec.prof = *def.Profile
+	}
+	if spec.prof.Kind == "trace" {
+		if spec.prof.Trace == "" {
+			return spec, fmt.Errorf(`profile kind "trace" needs a "trace" CSV path`)
+		}
+		if spec.trace, err = c.trace(spec.prof.Trace, spec.prof.Repeat); err != nil {
+			return spec, err
+		}
+	}
+	// Validate the waveform parameters once, at the unjittered scale;
+	// jitter scales are in (0, 2), which preserves validity.
+	if _, err = BuildProfile(spec.prof.Kind,
+		orDefault(spec.prof.PowerW, defaultPowerW),
+		orDefault(spec.prof.Period, defaultPeriod),
+		orDefault(spec.prof.Duty, defaultDuty),
+		spec.trace, 1); err != nil {
+		return spec, err
+	}
+
+	if s := pick(d.Sample, def.Sample); s != nil {
+		if _, err := Sample(spec.set, *s); err != nil {
+			return spec, err
+		}
+		spec.sample = s
+	}
+	return spec, nil
+}
+
+// model loads (once) the artifact at path, the dataset matching it,
+// and the dataset's test inputs converted to Q15.
+func (c *compiler) model(path string) (*quant.Model, *dataset.Set, [][]fixed.Q15, error) {
+	resolved := resolvePath(c.baseDir, path)
+	m, ok := c.models[resolved]
+	if !ok {
+		var err error
+		if m, err = LoadModel(resolved); err != nil {
+			return nil, nil, nil, err
+		}
+		c.models[resolved] = m
+	}
+	set, ok := c.sets[m.Name]
+	if !ok {
+		var err error
+		if set, err = DatasetFor(m, c.seed); err != nil {
+			return nil, nil, nil, err
+		}
+		c.sets[m.Name] = set
+		inputs := make([][]fixed.Q15, len(set.Test))
+		for i := range set.Test {
+			inputs[i] = fixed.FromFloats(set.Test[i].Input)
+		}
+		c.inputs[m.Name] = inputs
+	}
+	return m, set, c.inputs[m.Name], nil
+}
+
+// trace loads (once) the CSV trace the spec names.
+func (c *compiler) trace(path string, repeat bool) (*harvest.TraceProfile, error) {
+	resolved := resolvePath(c.baseDir, path)
+	key := traceKey(resolved, repeat)
+	tr, ok := c.traces[key]
+	if !ok {
+		var err error
+		if tr, err = harvest.LoadTraceFile(resolved, repeat); err != nil {
+			return nil, err
+		}
+		c.traces[key] = tr
+	}
+	return tr, nil
+}
+
+// LoadScenarios parses the scenario file at path and materializes the
+// whole fleet. Each distinct model artifact is loaded and validated
+// once and shared by pointer; datasets and traces likewise. This is
+// the convenience wrapper over LoadFleetSource for fleets small
+// enough to hold — streaming callers should use the source directly.
+func LoadScenarios(path string, seed int64) ([]fleet.Scenario, error) {
+	src, err := LoadFleetSource(path, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fleet.Scenario, src.Len())
+	for i := range out {
+		if out[i], err = src.At(i); err != nil {
+			return nil, fmt.Errorf("scenario file %s: %w", path, err)
+		}
+	}
+	return out, nil
+}

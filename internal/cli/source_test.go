@@ -1,0 +1,210 @@
+package cli
+
+import (
+	"reflect"
+	"testing"
+
+	"ehdl/internal/fleet"
+)
+
+// TestFleetSourceLazyMatchesMaterialized: At(i) must build exactly
+// the scenario LoadScenarios materializes at index i — the lazy and
+// eager paths are the same fleet.
+func TestFleetSourceLazyMatchesMaterialized(t *testing.T) {
+	path := writeScenarioBundle(t)
+	src, err := LoadFleetSource(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := LoadScenarios(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != len(eager) {
+		t.Fatalf("source has %d devices, materialized %d", src.Len(), len(eager))
+	}
+	// Out-of-order and repeated access must not matter.
+	for _, i := range []int{4, 0, 2, 0, 3, 1, 4} {
+		got, err := src.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, eager[i]) {
+			t.Fatalf("At(%d) diverges from materialized:\n%+v\nvs\n%+v", i, got, eager[i])
+		}
+	}
+	if _, err := src.At(src.Len()); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := src.At(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+// TestFleetSourceSharesLoadedModels: every device must point at the
+// same loaded artifact and share the converted input slices — the
+// memory contract that makes million-device fleets possible.
+func TestFleetSourceSharesLoadedModels(t *testing.T) {
+	path := writeScenarioBundle(t)
+	src, err := LoadFleetSource(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := src.At(0)
+	b, _ := src.At(src.Len() - 1)
+	if a.Model != b.Model {
+		t.Error("same model artifact loaded more than once")
+	}
+	big := src.Resize(1000)
+	c, err := big.At(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Model != a.Model {
+		t.Error("resized source re-loaded the model")
+	}
+}
+
+// TestFleetSourceResize: cycling, naming and determinism of resized
+// fleets.
+func TestFleetSourceResize(t *testing.T) {
+	path := writeScenarioBundle(t)
+	src, err := LoadFleetSource(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural := src.Len() // 5: bench×2, window, solar, starved
+
+	big := src.Resize(12)
+	if big.Len() != 12 || src.Len() != natural {
+		t.Fatalf("resize mutated the source: %d, %d", big.Len(), src.Len())
+	}
+	names := map[string]bool{}
+	for i := 0; i < big.Len(); i++ {
+		s, err := big.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if names[s.Name] {
+			t.Fatalf("duplicate device name %q in resized fleet", s.Name)
+		}
+		names[s.Name] = true
+		// Device i cycles the declared fleet: same spec as i mod natural.
+		base, _ := src.At(i % natural)
+		if s.Engine != base.Engine {
+			t.Fatalf("device %d engine %q, want %q (cycling broken)", i, s.Engine, base.Engine)
+		}
+	}
+	// Clones of one spec are distinct devices: the jitter draw is
+	// keyed by the global index.
+	a, _ := big.At(0)
+	b, _ := big.At(5)
+	if reflect.DeepEqual(a.Setup.Profile, b.Setup.Profile) {
+		t.Error("cycled clones received identical jittered profiles")
+	}
+
+	small := src.Resize(2)
+	if small.Len() != 2 {
+		t.Fatalf("truncated fleet has %d devices", small.Len())
+	}
+	if restored := small.Resize(0); restored.Len() != natural {
+		t.Fatalf("Resize(0) = %d devices, want natural %d", restored.Len(), natural)
+	}
+}
+
+// TestFleetSourceConcurrentAt: the source must be safe under the
+// streaming pool (run with -race).
+func TestFleetSourceConcurrentAt(t *testing.T) {
+	path := writeScenarioBundle(t)
+	src, err := LoadFleetSource(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := src.Resize(64)
+	errs := make([]error, big.Len())
+	fleet.ForEach(big.Len(), 8, func(i int) {
+		_, errs[i] = big.At(i)
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("At(%d): %v", i, err)
+		}
+	}
+}
+
+// TestJitterScale: deterministic, within [1-j, 1+j], spread across
+// indices, moved by the seed.
+func TestJitterScale(t *testing.T) {
+	seen := map[float64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := JitterScale(1, i, 0.3)
+		if s < 0.7 || s >= 1.3 {
+			t.Fatalf("JitterScale(1, %d, 0.3) = %v outside [0.7, 1.3)", i, s)
+		}
+		if s != JitterScale(1, i, 0.3) {
+			t.Fatal("jitter draw not deterministic")
+		}
+		seen[s] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("only %d distinct draws in 1000", len(seen))
+	}
+	if JitterScale(1, 7, 0.3) == JitterScale(2, 7, 0.3) {
+		t.Error("seed ignored")
+	}
+	if JitterScale(1, 7, 0) != 1 {
+		t.Error("zero jitter must not scale")
+	}
+}
+
+// TestScenarioStreamedMatchesRun: the end-to-end regression — a
+// scenario file streamed through RunStream aggregates bit-identically
+// to fleet.Run over the materialized expansion, same seed.
+func TestScenarioStreamedMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a small fleet")
+	}
+	path := writeScenarioBundle(t)
+	scenarios, err := LoadScenarios(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := fleet.Run(scenarios, 4)
+
+	src, err := LoadFleetSource(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := fleet.RunStream(src, fleet.StreamOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran.Results, ran.HostSeconds = nil, 0
+	streamed.HostSeconds = 0
+	if !reflect.DeepEqual(ran, streamed) {
+		t.Fatalf("streamed scenario aggregates diverge from Run:\n%+v\nvs\n%+v", ran, streamed)
+	}
+}
+
+// TestResizedNamesCarryGlobalIndex pins the resized naming scheme the
+// NDJSON rows expose.
+func TestResizedNamesCarryGlobalIndex(t *testing.T) {
+	path := writeScenarioBundle(t)
+	src, err := LoadFleetSource(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := src.Resize(7)
+	for _, tc := range []struct {
+		i    int
+		want string
+	}{{0, "bench/0"}, {2, "window/2"}, {5, "bench/5"}, {6, "bench/6"}} {
+		s, err := big.At(tc.i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != tc.want {
+			t.Fatalf("device %d named %q, want %q", tc.i, s.Name, tc.want)
+		}
+	}
+}

@@ -300,9 +300,9 @@ type Fig7Row struct {
 
 // Fig7 measures every engine on every task under both supplies. Every
 // (task, engine) cell simulates its own independent device, so the
-// sweep runs over the fleet layer's bounded worker pool; the row order
-// (tasks outer, engines inner) and every device number are identical
-// to a serial sweep.
+// sweep rides the fleet layer's bounded worker pool (fleet.ForEach);
+// the row order (tasks outer, engines inner) and every device number
+// are identical to a serial sweep.
 func Fig7(tasks []*Task) ([]Fig7Row, error) {
 	kinds := core.AllEngines()
 	rows := make([]Fig7Row, len(tasks)*len(kinds))

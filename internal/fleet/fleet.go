@@ -1,11 +1,18 @@
 // Package fleet simulates a deployment of energy-harvesting devices:
 // N independent (device, engine, harvesting profile) scenarios run
 // concurrently over a bounded worker pool and are folded into one
-// deterministic aggregate report — completion rate, boot counts, and
-// simulated-wall-time percentiles across the fleet. Every scenario
-// owns its simulated device, so results are bit-identical to a serial
-// sweep regardless of scheduling, and the per-scenario rows come back
-// in scenario order.
+// deterministic aggregate report — completion rate, boot counts,
+// per-engine/per-profile breakdowns, and simulated-wall-time
+// percentiles across the fleet. Every scenario owns its simulated
+// device, so results are bit-identical to a serial sweep regardless
+// of scheduling.
+//
+// The core is streaming (see RunStream): scenarios come from a lazy
+// Source, rows flow through an ordered Sink, and aggregation is
+// online and constant-memory, so fleet size is bounded by simulation
+// time, not host memory. Run is the materializing wrapper — it keeps
+// one Result row per scenario, in scenario order — for small fleets
+// and existing callers.
 package fleet
 
 import (
@@ -14,10 +21,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"ehdl/internal/core"
 	"ehdl/internal/fixed"
+	"ehdl/internal/harvest"
 	"ehdl/internal/quant"
 )
 
@@ -33,8 +40,11 @@ type Scenario struct {
 
 // Result is the outcome of one scenario.
 type Result struct {
-	Name      string
-	Engine    core.EngineKind
+	Name   string
+	Engine core.EngineKind
+	// Profile labels the harvest waveform (square, sine, const,
+	// trace, ...) for the per-profile breakdown.
+	Profile   string
 	Completed bool
 	// Predicted is the argmax class on completion, -1 otherwise.
 	Predicted int
@@ -48,19 +58,32 @@ type Result struct {
 
 // Report aggregates a fleet run.
 type Report struct {
-	// Results holds one row per scenario, in scenario order.
+	// Results holds one row per scenario, in scenario order. Streaming
+	// runs leave it nil — attach a Sink to observe rows.
 	Results []Result
 
 	Devices        int
 	Completed      int
 	CompletionRate float64 // Completed / Devices
-	TotalBoots     uint64
+	// Errors counts rows whose Err is set (setup failures and DNFs).
+	Errors     int
+	TotalBoots uint64
 
-	// Simulated wall-time percentiles across all devices
-	// (nearest-rank over completed and DNF runs alike).
+	// Simulated wall-time percentiles across all devices (completed
+	// and DNF runs alike): exact nearest-rank while the fleet is
+	// within the exact-percentile threshold, histogram estimates
+	// above it (see PercentilesExact).
 	WallP50Sec float64
 	WallP90Sec float64
 	WallP99Sec float64
+	// PercentilesExact reports whether the percentiles above are
+	// exact or fixed-bin histogram estimates (±~1%).
+	PercentilesExact bool
+
+	// Engines and Profiles break the fleet down by runtime and by
+	// harvest waveform.
+	Engines  map[string]GroupStats
+	Profiles map[string]GroupStats
 
 	// HostSeconds is the real time the sweep took.
 	HostSeconds float64
@@ -70,6 +93,8 @@ type Report struct {
 // every call finished. workers <= 0 selects GOMAXPROCS. fn must be
 // safe to call concurrently for distinct indices; writing only to
 // per-index slots keeps the overall computation deterministic.
+// experiments.Fig7 sweeps on this pool; RunStream runs its own
+// variant whose workers additionally own aggregator shards.
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -99,42 +124,38 @@ func ForEach(n, workers int, fn func(i int)) {
 }
 
 // Run executes every scenario over a pool of at most workers
-// goroutines (<= 0: GOMAXPROCS) and aggregates the fleet report.
-// Scenario failures (bad profile, model/input mismatch, DNF) land in
-// the per-scenario Err field; they do not abort the rest of the fleet.
+// goroutines (<= 0: GOMAXPROCS) and aggregates the fleet report,
+// materializing one Result row per scenario. Scenario failures (bad
+// profile, model/input mismatch, DNF) land in the per-scenario Err
+// field; they do not abort the rest of the fleet. Run is a thin
+// wrapper over RunStream with a collecting sink — use RunStream
+// directly for fleets too large to hold.
 func Run(scenarios []Scenario, workers int) Report {
-	start := time.Now()
-	rep := Report{
-		Results: make([]Result, len(scenarios)),
-		Devices: len(scenarios),
-	}
-	ForEach(len(scenarios), workers, func(i int) {
-		rep.Results[i] = runOne(scenarios[i])
+	collect := &Collector{Rows: make([]Result, 0, len(scenarios))}
+	rep, err := RunStream(SliceSource(scenarios), StreamOptions{
+		Workers: workers,
+		// Run materializes every row anyway, so percentiles stay exact
+		// at any fleet size (the historical behaviour).
+		ExactPercentiles: len(scenarios),
+		Sink:             collect,
 	})
-	rep.HostSeconds = time.Since(start).Seconds()
-
-	walls := make([]float64, 0, len(rep.Results))
-	for i := range rep.Results {
-		r := &rep.Results[i]
-		rep.TotalBoots += r.Boots
-		if r.Completed {
-			rep.Completed++
-		}
-		walls = append(walls, r.WallSec)
+	if err != nil {
+		// Collector never fails and SliceSource never errors; keep the
+		// historical no-error signature.
+		panic(err)
 	}
-	if rep.Devices > 0 {
-		rep.CompletionRate = float64(rep.Completed) / float64(rep.Devices)
-		sort.Float64s(walls)
-		rep.WallP50Sec = percentile(walls, 50)
-		rep.WallP90Sec = percentile(walls, 90)
-		rep.WallP99Sec = percentile(walls, 99)
-	}
+	rep.Results = collect.Rows
 	return rep
 }
 
 // runOne executes a single scenario on its own simulated device.
 func runOne(s Scenario) Result {
-	res := Result{Name: s.Name, Engine: s.Engine, Predicted: -1}
+	res := Result{
+		Name:      s.Name,
+		Engine:    s.Engine,
+		Profile:   ProfileLabel(s.Setup.Profile),
+		Predicted: -1,
+	}
 	if s.Model == nil {
 		res.Err = fmt.Errorf("fleet: scenario %q has no model", s.Name)
 		return res
@@ -154,28 +175,64 @@ func runOne(s Scenario) Result {
 	return res
 }
 
-// percentile is the nearest-rank percentile of sorted values.
+// ProfileLabel names a harvest profile's waveform for breakdowns.
+func ProfileLabel(p harvest.Profile) string {
+	switch p.(type) {
+	case harvest.SquareProfile:
+		return "square"
+	case harvest.SineProfile:
+		return "sine"
+	case harvest.ConstantProfile:
+		return "const"
+	case *harvest.TraceProfile:
+		return "trace"
+	case nil:
+		return "none"
+	default:
+		return "custom"
+	}
+}
+
+// nearestRank is the 0-based nearest-rank index for percentile p over
+// n sorted values, clamped to [0, n-1]. n must be > 0.
+func nearestRank(n int, p float64) int {
+	rank := int(float64(n)*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return rank
+}
+
+// percentile is the nearest-rank percentile of sorted values; 0 for
+// an empty slice (an empty fleet has no wall times).
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(float64(len(sorted))*p/100+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
+	return sorted[nearestRank(len(sorted), p)]
 }
 
-// RenderReport formats the fleet aggregate plus one row per device.
+// RenderReport formats the fleet aggregate, the per-engine and
+// per-profile breakdowns, and — when the report materialized them —
+// one row per device.
 func RenderReport(r Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet: %d devices, %d completed (%.1f%%), %d boots total\n",
 		r.Devices, r.Completed, 100*r.CompletionRate, r.TotalBoots)
-	fmt.Fprintf(&b, "wall(sim): p50 %.1f ms  p90 %.1f ms  p99 %.1f ms   host: %.2f s\n",
-		r.WallP50Sec*1e3, r.WallP90Sec*1e3, r.WallP99Sec*1e3, r.HostSeconds)
+	est := ""
+	if !r.PercentilesExact {
+		est = " (est)"
+	}
+	fmt.Fprintf(&b, "wall(sim)%s: p50 %.1f ms  p90 %.1f ms  p99 %.1f ms   host: %.2f s\n",
+		est, r.WallP50Sec*1e3, r.WallP90Sec*1e3, r.WallP99Sec*1e3, r.HostSeconds)
+	renderGroups(&b, "engine", r.Engines)
+	renderGroups(&b, "profile", r.Profiles)
+	if len(r.Results) == 0 {
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%-12s %-10s %-8s %7s %12s %12s %10s\n",
 		"device", "engine", "status", "boots", "active(ms)", "wall(ms)", "energy(mJ)")
 	for _, res := range r.Results {
@@ -187,4 +244,22 @@ func RenderReport(r Report) string {
 			res.Name, res.Engine, status, res.Boots, res.ActiveSec*1e3, res.WallSec*1e3, res.EnergymJ)
 	}
 	return b.String()
+}
+
+// renderGroups prints one breakdown table in sorted key order.
+func renderGroups(b *strings.Builder, label string, groups map[string]GroupStats) {
+	if len(groups) < 2 {
+		return // a homogeneous fleet repeats the summary line
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(b, "by %s:\n", label)
+	for _, k := range keys {
+		g := groups[k]
+		fmt.Fprintf(b, "  %-10s %9d devices %9d ok (%5.1f%%) %12d boots %9d errors\n",
+			k, g.Devices, g.Completed, 100*float64(g.Completed)/float64(g.Devices), g.Boots, g.Errors)
+	}
 }

@@ -1,0 +1,59 @@
+package fleet
+
+// NDJSON row sink: one JSON object per device, one line per object,
+// in scenario order — the interchange format for fleet-scale runs
+// (stream it to disk, split it across hosts, feed it to jq). The
+// schema is pinned by TestNDJSONSchema and documented in the README's
+// "Fleet at scale" section.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// NDJSONRow is the wire form of one Result row.
+type NDJSONRow struct {
+	Index     int     `json:"i"`
+	Device    string  `json:"device"`
+	Engine    string  `json:"engine"`
+	Profile   string  `json:"profile,omitempty"`
+	Completed bool    `json:"completed"`
+	Predicted int     `json:"predicted"`
+	Boots     uint64  `json:"boots"`
+	ActiveSec float64 `json:"active_s"`
+	WallSec   float64 `json:"wall_s"`
+	EnergyMJ  float64 `json:"energy_mj"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// NDJSONSink writes one row per line to w. It does not buffer: wrap w
+// in a bufio.Writer (and flush it after RunStream returns) when
+// writing to a file.
+type NDJSONSink struct {
+	enc *json.Encoder
+}
+
+// NewNDJSONSink returns a sink streaming rows to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{enc: json.NewEncoder(w)}
+}
+
+// Consume implements Sink.
+func (s *NDJSONSink) Consume(i int, r Result) error {
+	row := NDJSONRow{
+		Index:     i,
+		Device:    r.Name,
+		Engine:    string(r.Engine),
+		Profile:   r.Profile,
+		Completed: r.Completed,
+		Predicted: r.Predicted,
+		Boots:     r.Boots,
+		ActiveSec: r.ActiveSec,
+		WallSec:   r.WallSec,
+		EnergyMJ:  r.EnergymJ,
+	}
+	if r.Err != nil {
+		row.Err = r.Err.Error()
+	}
+	return s.enc.Encode(row)
+}

@@ -1,0 +1,296 @@
+package fleet
+
+// This file is the streaming fleet core. Scenarios come from a lazy
+// Source (so a million-device fleet is never materialized), workers
+// simulate them concurrently, per-worker aggregator shards accumulate
+// the report in constant memory, and an optional Sink receives every
+// row in scenario order through a bounded reorder window. fleet.Run
+// is a thin wrapper that attaches a collecting sink.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Source lazily yields the fleet's scenarios. Len is the fleet size;
+// At(i) builds scenario i and must be safe for concurrent calls with
+// distinct (or equal) indices.
+type Source interface {
+	Len() int
+	At(i int) (Scenario, error)
+}
+
+type sliceSource []Scenario
+
+func (s sliceSource) Len() int                   { return len(s) }
+func (s sliceSource) At(i int) (Scenario, error) { return s[i], nil }
+
+// SliceSource adapts a materialized scenario slice.
+func SliceSource(scenarios []Scenario) Source { return sliceSource(scenarios) }
+
+type funcSource struct {
+	n  int
+	fn func(i int) (Scenario, error)
+}
+
+func (s funcSource) Len() int                   { return s.n }
+func (s funcSource) At(i int) (Scenario, error) { return s.fn(i) }
+
+// FuncSource adapts a generator function: n devices, scenario i built
+// on demand by fn (which must be safe for concurrent calls).
+func FuncSource(n int, fn func(i int) (Scenario, error)) Source {
+	return funcSource{n: n, fn: fn}
+}
+
+// Sink consumes per-device rows as the fleet streams. Consume is
+// called exactly once per scenario, in scenario order (i strictly
+// increasing), never concurrently. A Consume error aborts the run.
+type Sink interface {
+	Consume(i int, r Result) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(i int, r Result) error
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(i int, r Result) error { return f(i, r) }
+
+// MultiSink fans rows out to several sinks in argument order.
+func MultiSink(sinks ...Sink) Sink {
+	return SinkFunc(func(i int, r Result) error {
+		for _, s := range sinks {
+			if err := s.Consume(i, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Collector is a Sink that materializes rows — what fleet.Run uses to
+// keep its Report.Results contract. Only attach it to fleets you are
+// willing to hold in memory.
+type Collector struct {
+	Rows []Result
+}
+
+// Consume implements Sink.
+func (c *Collector) Consume(i int, r Result) error {
+	c.Rows = append(c.Rows, r)
+	return nil
+}
+
+// StreamOptions configures RunStream.
+type StreamOptions struct {
+	// Workers bounds the worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// ExactPercentiles is the fleet size up to which wall-time
+	// percentiles are exact (<= 0: DefaultExactPercentiles). Larger
+	// fleets switch to the histogram estimate.
+	ExactPercentiles int
+	// Sink, when set, receives every row in scenario order.
+	Sink Sink
+	// Progress, when set, is called from a ticker goroutine with the
+	// number of finished devices (and once more on completion).
+	Progress func(done, total int)
+	// ProgressEvery is the ticker interval (<= 0: 2s).
+	ProgressEvery time.Duration
+}
+
+// reorder is the bounded window that restores scenario order for sink
+// delivery. A worker whose finished row is too far ahead of the
+// oldest undelivered index blocks until the window advances, so
+// pending never holds more than window rows — the window is what
+// keeps a fleet with one pathologically slow device from buffering
+// the entire rest of the fleet behind it.
+type reorder struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    int
+	window  int
+	pending map[int]Result
+	sink    Sink
+	err     error
+}
+
+func newReorder(sink Sink, workers int) *reorder {
+	// A few rows of slack per worker hides delivery jitter without
+	// growing the O(workers) memory bound.
+	w := &reorder{
+		window:  4 * workers,
+		pending: make(map[int]Result, 4*workers+1),
+		sink:    sink,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// deliver hands row i to the window and flushes every row that became
+// in-order, blocking while i is beyond the window. It reports whether
+// the run should continue. The worker holding the oldest index never
+// blocks (i == next is always inside the window), so the window
+// always drains.
+func (w *reorder) deliver(i int, r Result) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.err == nil && i >= w.next+w.window {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return false
+	}
+	w.pending[i] = r
+	advanced := false
+	for {
+		row, ok := w.pending[w.next]
+		if !ok {
+			break
+		}
+		delete(w.pending, w.next)
+		if err := w.sink.Consume(w.next, row); err != nil {
+			w.err = fmt.Errorf("fleet: sink at row %d: %w", w.next, err)
+			w.cond.Broadcast()
+			return false
+		}
+		w.next++
+		advanced = true
+	}
+	if advanced {
+		w.cond.Broadcast()
+	}
+	return true
+}
+
+// RunStream simulates the fleet without materializing it: scenarios
+// are generated on demand, rows stream through the optional sink in
+// scenario order, and the report is aggregated online — memory is
+// O(workers × exact-percentile threshold) worst case (each worker
+// shard retains values until it spills), independent of fleet size.
+// Scenario-level failures (bad profile, missing model, DNF, a Source
+// error for one index) land in that row's Err and do not abort the
+// fleet; only a Sink error aborts, returning that error.
+//
+// The report is bit-identical for any worker count, and — for fleets
+// within the exact-percentile threshold — bit-identical to fleet.Run
+// over the same scenarios.
+func RunStream(src Source, opts StreamOptions) (Report, error) {
+	start := time.Now()
+	n := src.Len()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var win *reorder
+	if opts.Sink != nil {
+		win = newReorder(opts.Sink, workers)
+	}
+
+	var done atomic.Int64
+	stopProgress := startProgress(&done, n, opts)
+
+	shards := make([]*Agg, workers)
+	jobs := make(chan int)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shards[w] = NewAgg(opts.ExactPercentiles)
+		wg.Add(1)
+		go func(shard *Agg) {
+			defer wg.Done()
+			for i := range jobs {
+				s, err := src.At(i)
+				var r Result
+				if err != nil {
+					// The scenario never existed, so label its breakdown
+					// groups explicitly instead of leaving them blank.
+					r = Result{
+						Name:      fmt.Sprintf("dev%d", i),
+						Engine:    "unknown",
+						Profile:   "unknown",
+						Predicted: -1,
+						Err:       fmt.Errorf("fleet: scenario %d: %w", i, err),
+					}
+				} else {
+					r = runOne(s)
+				}
+				shard.Observe(r)
+				done.Add(1)
+				if win != nil && !win.deliver(i, r) {
+					abortOnce.Do(func() { close(abort) })
+					return
+				}
+			}
+		}(shards[w])
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-abort:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	stopProgress()
+
+	if win != nil {
+		win.mu.Lock()
+		err := win.err
+		win.mu.Unlock()
+		if err != nil {
+			return Report{}, err
+		}
+	}
+
+	agg := NewAgg(opts.ExactPercentiles)
+	for _, shard := range shards {
+		agg.Merge(shard)
+	}
+	rep := agg.Report()
+	rep.HostSeconds = time.Since(start).Seconds()
+	if opts.Progress != nil {
+		opts.Progress(int(done.Load()), n)
+	}
+	return rep, nil
+}
+
+// startProgress runs the optional progress ticker; the returned stop
+// function is idempotent-enough for the single call RunStream makes.
+func startProgress(done *atomic.Int64, total int, opts StreamOptions) func() {
+	if opts.Progress == nil {
+		return func() {}
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				opts.Progress(int(done.Load()), total)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		wg.Wait()
+	}
+}

@@ -7,12 +7,18 @@
 //	ehsim -model mnist.gob [-engine ace+flex] [-cap 100e-6]
 //	      [-profile square|sine|const|trace] [-power 5e-3] [-period 0.1]
 //	      [-duty 0.5] [-trace solar.csv] [-trace-repeat] [-leak 0]
-//	      [-sample 0] [-seed 1]
+//	      [-sample 0] [-seed 1] [-trace-boots]
 //
 // -sample selects the test-set input to run (the deterministic
 // datasets have 64 test samples; out-of-range indices are rejected
 // with the valid range). -seed drives the dataset generator and must
 // match the radtrain seed for the labels to be meaningful.
+//
+// Every run prints the intermittent runner's diagnosis — why the
+// inference completed or DNF'd (frozen progress, no persistent
+// writes, boot limit, ...). -trace-boots additionally dumps the boot
+// ledger: per-boot cycles, energy, persistent writes, progress delta
+// and recharge time for the last boots of the run.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"ehdl/internal/cli"
 	"ehdl/internal/core"
 	"ehdl/internal/device"
+	"ehdl/internal/exec"
 	"ehdl/internal/fixed"
 	"ehdl/internal/harvest"
 )
@@ -43,6 +50,7 @@ func main() {
 	leak := flag.Float64("leak", 0, "parasitic leakage in watts")
 	sample := flag.Int("sample", 0, "test-set sample index")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	traceBoots := flag.Bool("trace-boots", false, "dump the runner's per-boot ledger")
 	flag.Parse()
 
 	if *modelPath == "" {
@@ -97,6 +105,7 @@ func main() {
 		fmt.Printf("result:  DID NOT FINISH (%v)\n", rep.Intermittent.Err)
 	}
 	fmt.Printf("boots:   %d power failures\n", rep.Intermittent.Boots)
+	fmt.Printf("diag:    %s\n", rep.Intermittent.Diagnosis)
 	fmt.Printf("active:  %.1f ms compute\n", rep.Stats.ActiveSeconds*1e3)
 	fmt.Printf("wall:    %.1f ms including recharge\n", rep.Stats.WallSeconds*1e3)
 	fmt.Printf("energy:  %.3f mJ total\n", rep.Stats.EnergymJ())
@@ -104,4 +113,32 @@ func main() {
 		rep.Stats.Energy[device.CatCheckpoint]*1e-3,
 		rep.Stats.Energy[device.CatRestore]*1e-3,
 		rep.Stats.Energy[device.CatMonitor]*1e-3)
+	if *traceBoots {
+		printBootLedger(rep, cfg, prof)
+	}
+}
+
+// printBootLedger dumps the runner's per-boot ledger plus the harvest
+// engine's closed-form boots estimate for the measured energy.
+func printBootLedger(rep exec.Report, cfg harvest.Config, prof harvest.Profile) {
+	fmt.Printf("boot ledger (last %d boots):\n", len(rep.Intermittent.Ledger))
+	fmt.Printf("  %6s %-7s %12s %12s %9s %10s %10s %10s\n",
+		"boot", "end", "cycles", "energy(uJ)", "nv-words", "fram-w", "prog-d", "off(ms)")
+	for _, rec := range rep.Intermittent.Ledger {
+		end := "ok"
+		if rec.Failed {
+			end = "fail"
+		}
+		fmt.Printf("  %6d %-7s %12d %12.2f %9d %10d %10d %10.2f\n",
+			rec.Boot, end, rec.Cycles, rec.TotalnJ()*1e-3,
+			rec.NVWrites, rec.FRAMWriteWords, rec.Delta, rec.OffSec*1e3)
+	}
+	if c, err := harvest.NewCapacitor(cfg, prof); err == nil {
+		fmt.Printf("closed form: %.1f uJ usable per charge -> >= %d boots for this inference's %.3f mJ\n",
+			c.UsableEnergyJ()*1e6, c.BootsToComplete(rep.Stats.TotalEnergynJ*1e-9),
+			rep.Stats.EnergymJ())
+		if off, ok := c.SteadyOffSeconds(); ok {
+			fmt.Printf("             mean recharge %.1f ms per boot at the profile's mean power\n", off*1e3)
+		}
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"ehdl/internal/exec"
 	"ehdl/internal/fixed"
 	"ehdl/internal/fleet"
+	"ehdl/internal/intermittent"
 	"ehdl/internal/nn"
 	"ehdl/internal/quant"
 	"ehdl/internal/rad"
@@ -99,8 +100,21 @@ func Train(arch *Arch, set *Set, opts TrainOptions) (*TrainResult, error) {
 	return rad.Train(arch, set, opts)
 }
 
-// Report is a measured inference.
+// Report is a measured inference. For intermittent runs,
+// Report.Intermittent carries the runner's typed BootDiagnosis and the
+// per-boot BootRecord ledger alongside completion and boot counts.
 type Report = exec.Report
+
+// BootDiagnosis explains why an intermittent run completed or DNF'd:
+// the verdict kind (frozen progress, no persistent writes, boot
+// limit, ...), the evidence window behind it, and how many boots the
+// analytic fast-forward skipped.
+type BootDiagnosis = intermittent.Diagnosis
+
+// BootRecord is one entry of the intermittent runner's per-boot
+// ledger: cycles, energy, persistent-write signature, progress delta
+// and recharge time of a single boot.
+type BootRecord = intermittent.BootRecord
 
 // Infer runs one measured inference on bench (continuous) power.
 func Infer(engine Engine, m *Model, input []float64) (Report, error) {

@@ -65,6 +65,13 @@ type DeviceSpec struct {
 	// Profile selects the harvest waveform (replaces the default
 	// profile wholesale when present).
 	Profile *ProfileSpec `json:"profile,omitempty"`
+	// MaxBoots overrides the intermittent runner's restart budget
+	// (default 10000) — raise it for weak-ambient devices whose
+	// inference legitimately needs more boots.
+	MaxBoots *uint64 `json:"max_boots,omitempty"`
+	// StagnationLimit overrides how many consecutive zero-progress
+	// boots the runner tolerates before a DNF verdict (default 8).
+	StagnationLimit *int `json:"stagnation_limit,omitempty"`
 }
 
 // ProfileSpec declares a harvest profile. The numeric fields are

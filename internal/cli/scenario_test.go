@@ -241,3 +241,59 @@ func TestScenarioRelativePaths(t *testing.T) {
 		t.Fatalf("relative paths broke away from the scenario dir: %v", err)
 	}
 }
+
+// TestScenarioRunnerOverrides: max_boots / stagnation_limit compile
+// into a per-spec intermittent.Runner, with defaults inherited and
+// degenerate values rejected.
+func TestScenarioRunnerOverrides(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveModel(filepath.Join(dir, "mnist.gob"), testMNISTModel(t, 13)); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate values must be rejected by the semantic guards in
+	// compile() (plain JSON integers, so decoding succeeds), with the
+	// offending field named.
+	path := filepath.Join(dir, "runner.json")
+	for _, bad := range []struct{ doc, field string }{
+		{`{"devices": [{"model": "mnist.gob", "max_boots": 0}]}`, "max_boots"},
+		{`{"devices": [{"model": "mnist.gob", "stagnation_limit": 0}]}`, "stagnation_limit"},
+		{`{"devices": [{"model": "mnist.gob", "stagnation_limit": -3}]}`, "stagnation_limit"},
+	} {
+		if err := os.WriteFile(path, []byte(bad.doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFleetSource(path, 1); err == nil || !strings.Contains(err.Error(), bad.field) {
+			t.Fatalf("degenerate %s accepted: %v", bad.field, err)
+		}
+	}
+
+	doc := `{
+		"defaults": {"model": "mnist.gob", "max_boots": 50000},
+		"devices": [
+			{"name": "weak", "stagnation_limit": 32},
+			{"name": "plain"}
+	]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := LoadFleetSource(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := src.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.Setup.Runner == nil || weak.Setup.Runner.MaxBoots != 50000 ||
+		weak.Setup.Runner.StagnationLimit != 32 {
+		t.Fatalf("weak runner = %+v, want MaxBoots 50000 / StagnationLimit 32", weak.Setup.Runner)
+	}
+	plain, err := src.At(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Setup.Runner == nil || plain.Setup.Runner.MaxBoots != 50000 ||
+		plain.Setup.Runner.StagnationLimit != 0 {
+		t.Fatalf("plain runner = %+v, want inherited MaxBoots 50000 with default stagnation", plain.Setup.Runner)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"ehdl/internal/fixed"
 	"ehdl/internal/fleet"
 	"ehdl/internal/harvest"
+	"ehdl/internal/intermittent"
 	"ehdl/internal/quant"
 )
 
@@ -36,8 +37,9 @@ type compiledSpec struct {
 	trace  *harvest.TraceProfile // preloaded for kind "trace"
 	model  *quant.Model
 	set    *dataset.Set
-	inputs [][]fixed.Q15 // test set converted to Q15, shared read-only
-	sample *int          // explicit test-sample override
+	inputs [][]fixed.Q15        // test set converted to Q15, shared read-only
+	sample *int                 // explicit test-sample override
+	runner *intermittent.Runner // boot-budget overrides (nil = defaults)
 }
 
 // FleetSource is a compiled scenario file: a lazy, concurrency-safe
@@ -134,7 +136,7 @@ func (s *FleetSource) At(i int) (fleet.Scenario, error) {
 		Engine: spec.engine,
 		Model:  spec.model,
 		Input:  spec.inputs[sampleIdx],
-		Setup:  core.HarvestSetup{Config: spec.cfg, Profile: profile},
+		Setup:  core.HarvestSetup{Config: spec.cfg, Profile: profile, Runner: spec.runner},
 	}, nil
 }
 
@@ -259,6 +261,24 @@ func (c *compiler) compile(def, d *DeviceSpec, di int) (compiledSpec, error) {
 			return spec, err
 		}
 		spec.sample = s
+	}
+
+	maxBoots := pick(d.MaxBoots, def.MaxBoots)
+	stagLimit := pick(d.StagnationLimit, def.StagnationLimit)
+	if maxBoots != nil && *maxBoots == 0 {
+		return spec, fmt.Errorf("max_boots must be >= 1, got 0")
+	}
+	if stagLimit != nil && *stagLimit < 1 {
+		return spec, fmt.Errorf("stagnation_limit must be >= 1, got %d", *stagLimit)
+	}
+	if maxBoots != nil || stagLimit != nil {
+		spec.runner = &intermittent.Runner{}
+		if maxBoots != nil {
+			spec.runner.MaxBoots = *maxBoots
+		}
+		if stagLimit != nil {
+			spec.runner.StagnationLimit = *stagLimit
+		}
 	}
 	return spec, nil
 }

@@ -108,7 +108,12 @@ func PaperHarvestSetup() HarvestSetup {
 // engine (closed form per profile segment, no integration horizon);
 // malformed profiles — zero duty cycle, non-positive period, negative
 // power — are rejected here by the capacitor's profile validation
-// instead of spinning the simulation.
+// instead of spinning the simulation. The returned report's
+// Intermittent result carries the runner's boot ledger and typed
+// Diagnosis: every Fig. 7(b) "X" names the verdict that produced it
+// (frozen progress, no persistent writes, boot limit, ...), and a
+// broken engine whose progress regresses yields a DNF row instead of
+// a panic.
 func InferIntermittent(kind EngineKind, m *quant.Model, input []fixed.Q15, setup HarvestSetup) (exec.Report, error) {
 	supply, err := harvest.NewCapacitor(setup.Config, setup.Profile)
 	if err != nil {

@@ -38,6 +38,7 @@ func (d *Device) FRAMRead(words int, cat Category) {
 func (d *Device) FRAMWrite(words int, cat Category) {
 	c := uint64(words) * d.Costs.FRAMWriteWordCycles
 	d.Consume(cat, c, float64(c)*d.Costs.CPUCyclenJ+float64(words)*d.Costs.FRAMWriteWordnJ)
+	d.bootFRAMWrites += uint64(words)
 }
 
 // DMA charges a words-long DMA transfer; the CPU sleeps in LPM0 while
@@ -95,6 +96,7 @@ func (d *Device) DMAToFRAM(words int, cat Category) {
 		float64(uint64(words)*d.Costs.DMAWordCycles)*d.Costs.LPMCyclenJ +
 		float64(words)*(d.Costs.DMAWordnJ+d.Costs.FRAMWriteWordnJ)
 	d.Consume(cat, c, nJ)
+	d.bootFRAMWrites += uint64(words)
 }
 
 // DMAFromFRAM charges a words-long DMA transfer whose source is FRAM:

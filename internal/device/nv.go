@@ -29,11 +29,17 @@ func (w *NVWord) Read(d *Device, cat Category) uint64 {
 func (w *NVWord) Write(d *Device, cat Category, v uint64) {
 	d.FRAMWrite(1, cat)
 	w.v = v
+	d.noteNVWord(v)
 }
 
 // Peek returns the value without charging — for assertions in tests
 // and post-run report generation only.
 func (w *NVWord) Peek() uint64 { return w.v }
+
+// Poke sets the value without charging or logging — for host-side
+// setup and intermittent.Skippable SkipBoots appliers, whose charges
+// the runner replays on the boot ledger instead.
+func (w *NVWord) Poke(v uint64) { w.v = v }
 
 // NVQ15 is a persistent Q15 buffer (weights, staged activations).
 type NVQ15 struct {
@@ -60,6 +66,7 @@ func (b *NVQ15) Store(d *Device, cat Category, offset int, src []fixed.Q15) {
 		end := min(start+commitChunkWords, len(src))
 		d.FRAMWrite(end-start, cat)
 		copy(b.data[offset+start:offset+end], src[start:end])
+		d.noteNVWords(offset+start, src[start:end])
 	}
 }
 
@@ -70,6 +77,7 @@ func (b *NVQ15) StoreDMA(d *Device, cat Category, offset int, src []fixed.Q15) {
 		end := min(start+commitChunkWords, len(src))
 		d.DMAToFRAM(end-start, cat)
 		copy(b.data[offset+start:offset+end], src[start:end])
+		d.noteNVWords(offset+start, src[start:end])
 	}
 }
 
@@ -97,6 +105,7 @@ func (b *NVQ15) LoadDMA(d *Device, cat Category, offset int, dst []fixed.Q15) {
 func (b *NVQ15) StoreOne(d *Device, cat Category, i int, v fixed.Q15) {
 	d.FRAMWrite(1, cat)
 	b.data[i] = v
+	d.noteNVWords(i, []fixed.Q15{v})
 }
 
 // LoadOne reads a single element.

@@ -287,8 +287,11 @@ type Fig7Row struct {
 	ContinuousMS float64
 	ContinuousMJ float64
 
-	Completed      bool
-	Boots          uint64
+	Completed bool
+	Boots     uint64
+	// Diagnosis is the intermittent runner's verdict kind — the typed
+	// reason behind each ok/X cell of the completion matrix.
+	Diagnosis      string
 	IntermittentMS float64 // active compute time
 	WallMS         float64 // including recharge
 	IntermittentMJ float64
@@ -336,6 +339,7 @@ func fig7Cell(row *Fig7Row, t *Task, kind core.EngineKind) error {
 	}
 	row.Completed = irep.Intermittent.Completed
 	row.Boots = irep.Intermittent.Boots
+	row.Diagnosis = string(irep.Intermittent.Diagnosis.Kind)
 	row.IntermittentMS = irep.Stats.ActiveSeconds * 1e3
 	row.WallMS = irep.Stats.WallSeconds * 1e3
 	row.IntermittentMJ = irep.Stats.EnergymJ()

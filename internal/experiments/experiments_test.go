@@ -225,15 +225,29 @@ func TestFullEvaluationPipeline(t *testing.T) {
 	if len(rows) != 15 {
 		t.Fatalf("fig7 rows = %d, want 15", len(rows))
 	}
+	// The Fig. 7(b) completion matrix, pinned to the seed: the
+	// checkpointing runtimes complete, BASE and plain ACE DNF — and the
+	// ledger-based runner must attribute every DNF to frozen progress
+	// (their counters never move; their writes are pure re-execution),
+	// never to a boot-limit timeout or a write-log misdetection.
 	for _, r := range rows {
 		switch r.Engine {
 		case "base", "ace":
 			if r.Completed {
 				t.Errorf("%s/%s completed under intermittent power", r.Task, r.Engine)
 			}
+			if r.Diagnosis != "frozen-progress" {
+				t.Errorf("%s/%s diagnosis = %q, want frozen-progress", r.Task, r.Engine, r.Diagnosis)
+			}
+			if r.Boots > 10 {
+				t.Errorf("%s/%s burned %d boots before the DNF verdict", r.Task, r.Engine, r.Boots)
+			}
 		default:
 			if !r.Completed {
 				t.Errorf("%s/%s did not complete", r.Task, r.Engine)
+			}
+			if r.Diagnosis != "completed" {
+				t.Errorf("%s/%s diagnosis = %q, want completed", r.Task, r.Engine, r.Diagnosis)
 			}
 		}
 	}

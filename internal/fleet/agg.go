@@ -70,6 +70,7 @@ type Agg struct {
 	completed int
 	errors    int
 	boots     uint64
+	ffBoots   uint64
 
 	// exact holds every observed wall time while the aggregate is
 	// below threshold; nil after spilling into hist.
@@ -78,8 +79,9 @@ type Agg struct {
 	// histCount is the number of values represented by hist.
 	histCount int
 
-	engines  map[string]*GroupStats
-	profiles map[string]*GroupStats
+	engines   map[string]*GroupStats
+	profiles  map[string]*GroupStats
+	diagnoses map[string]int
 }
 
 // NewAgg returns an aggregator that keeps exact percentiles up to
@@ -92,6 +94,7 @@ func NewAgg(exactThreshold int) *Agg {
 		threshold: exactThreshold,
 		engines:   map[string]*GroupStats{},
 		profiles:  map[string]*GroupStats{},
+		diagnoses: map[string]int{},
 	}
 }
 
@@ -105,8 +108,12 @@ func (a *Agg) Observe(r Result) {
 		a.errors++
 	}
 	a.boots += r.Boots
+	a.ffBoots += r.FastForwarded
 	group(a.engines, string(r.Engine)).observe(r)
 	group(a.profiles, r.Profile).observe(r)
+	if r.Diagnosis != "" {
+		a.diagnoses[r.Diagnosis]++
+	}
 	a.observeWall(r.WallSec)
 }
 
@@ -194,8 +201,12 @@ func (a *Agg) Merge(b *Agg) {
 	a.completed += b.completed
 	a.errors += b.errors
 	a.boots += b.boots
+	a.ffBoots += b.ffBoots
 	mergeGroups(a.engines, b.engines)
 	mergeGroups(a.profiles, b.profiles)
+	for k, n := range b.diagnoses {
+		a.diagnoses[k] += n
+	}
 	if a.hist == nil && b.hist == nil && len(a.exact)+len(b.exact) <= a.threshold {
 		a.exact = append(a.exact, b.exact...)
 		return
@@ -217,19 +228,24 @@ func (a *Agg) Merge(b *Agg) {
 // so Report is not idempotent with further Observe calls.
 func (a *Agg) Report() Report {
 	rep := Report{
-		Devices:          a.devices,
-		Completed:        a.completed,
-		Errors:           a.errors,
-		TotalBoots:       a.boots,
-		PercentilesExact: a.hist == nil,
-		Engines:          map[string]GroupStats{},
-		Profiles:         map[string]GroupStats{},
+		Devices:            a.devices,
+		Completed:          a.completed,
+		Errors:             a.errors,
+		TotalBoots:         a.boots,
+		FastForwardedBoots: a.ffBoots,
+		PercentilesExact:   a.hist == nil,
+		Engines:            map[string]GroupStats{},
+		Profiles:           map[string]GroupStats{},
+		Diagnoses:          map[string]int{},
 	}
 	for k, g := range a.engines {
 		rep.Engines[k] = *g
 	}
 	for k, g := range a.profiles {
 		rep.Profiles[k] = *g
+	}
+	for k, n := range a.diagnoses {
+		rep.Diagnoses[k] = n
 	}
 	if a.devices > 0 {
 		rep.CompletionRate = float64(a.completed) / float64(a.devices)

@@ -52,6 +52,13 @@ type Result struct {
 	ActiveSec float64 // simulated compute time
 	WallSec   float64 // simulated compute + recharge time
 	EnergymJ  float64
+	// Diagnosis is the intermittent runner's verdict kind ("completed",
+	// "frozen-progress", "boot-limit", ...) or "setup-error" when the
+	// scenario never ran; see intermittent.DiagnosisKind.
+	Diagnosis string
+	// FastForwarded counts boots the runner skipped analytically
+	// (included in Boots).
+	FastForwarded uint64
 	// Err is the intermittent sentinel on a DNF, or a setup error.
 	Err error
 }
@@ -81,9 +88,16 @@ type Report struct {
 	PercentilesExact bool
 
 	// Engines and Profiles break the fleet down by runtime and by
-	// harvest waveform.
-	Engines  map[string]GroupStats
-	Profiles map[string]GroupStats
+	// harvest waveform; Diagnoses counts rows per runner verdict
+	// ("completed", "frozen-progress", "boot-limit", ...), the fleet
+	// operator's view of WHY devices did or did not finish.
+	Engines   map[string]GroupStats
+	Profiles  map[string]GroupStats
+	Diagnoses map[string]int
+
+	// FastForwardedBoots totals the boots the intermittent runner
+	// skipped analytically across the fleet (included in TotalBoots).
+	FastForwardedBoots uint64
 
 	// HostSeconds is the real time the sweep took.
 	HostSeconds float64
@@ -158,11 +172,13 @@ func runOne(s Scenario) Result {
 	}
 	if s.Model == nil {
 		res.Err = fmt.Errorf("fleet: scenario %q has no model", s.Name)
+		res.Diagnosis = SetupErrorDiagnosis
 		return res
 	}
 	rep, err := core.InferIntermittent(s.Engine, s.Model, s.Input, s.Setup)
 	if err != nil {
 		res.Err = err
+		res.Diagnosis = SetupErrorDiagnosis
 		return res
 	}
 	res.Completed = rep.Intermittent.Completed
@@ -171,9 +187,15 @@ func runOne(s Scenario) Result {
 	res.ActiveSec = rep.Stats.ActiveSeconds
 	res.WallSec = rep.Stats.WallSeconds
 	res.EnergymJ = rep.Stats.EnergymJ()
+	res.Diagnosis = string(rep.Intermittent.Diagnosis.Kind)
+	res.FastForwarded = rep.Intermittent.Diagnosis.FastForwarded
 	res.Err = rep.Intermittent.Err
 	return res
 }
+
+// SetupErrorDiagnosis labels rows whose scenario never produced an
+// intermittent run (bad profile, missing model, source error).
+const SetupErrorDiagnosis = "setup-error"
 
 // ProfileLabel names a harvest profile's waveform for breakdowns.
 func ProfileLabel(p harvest.Profile) string {
@@ -228,22 +250,45 @@ func RenderReport(r Report) string {
 	}
 	fmt.Fprintf(&b, "wall(sim)%s: p50 %.1f ms  p90 %.1f ms  p99 %.1f ms   host: %.2f s\n",
 		est, r.WallP50Sec*1e3, r.WallP90Sec*1e3, r.WallP99Sec*1e3, r.HostSeconds)
+	if r.FastForwardedBoots > 0 {
+		fmt.Fprintf(&b, "fast-forward: %d of %d boots solved analytically\n",
+			r.FastForwardedBoots, r.TotalBoots)
+	}
 	renderGroups(&b, "engine", r.Engines)
 	renderGroups(&b, "profile", r.Profiles)
+	renderDiagnoses(&b, r.Diagnoses)
 	if len(r.Results) == 0 {
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-12s %-10s %-8s %7s %12s %12s %10s\n",
-		"device", "engine", "status", "boots", "active(ms)", "wall(ms)", "energy(mJ)")
+	fmt.Fprintf(&b, "%-12s %-10s %-8s %7s %12s %12s %10s  %s\n",
+		"device", "engine", "status", "boots", "active(ms)", "wall(ms)", "energy(mJ)", "diagnosis")
 	for _, res := range r.Results {
 		status := "ok"
 		if !res.Completed {
 			status = "X"
 		}
-		fmt.Fprintf(&b, "%-12s %-10s %-8s %7d %12.1f %12.1f %10.3f\n",
-			res.Name, res.Engine, status, res.Boots, res.ActiveSec*1e3, res.WallSec*1e3, res.EnergymJ)
+		fmt.Fprintf(&b, "%-12s %-10s %-8s %7d %12.1f %12.1f %10.3f  %s\n",
+			res.Name, res.Engine, status, res.Boots, res.ActiveSec*1e3, res.WallSec*1e3, res.EnergymJ,
+			res.Diagnosis)
 	}
 	return b.String()
+}
+
+// renderDiagnoses prints the per-verdict breakdown when the fleet saw
+// more than one kind of outcome.
+func renderDiagnoses(b *strings.Builder, diagnoses map[string]int) {
+	if len(diagnoses) < 2 {
+		return
+	}
+	keys := make([]string, 0, len(diagnoses))
+	for k := range diagnoses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(b, "by diagnosis:\n")
+	for _, k := range keys {
+		fmt.Fprintf(b, "  %-24s %9d devices\n", k, diagnoses[k])
+	}
 }
 
 // renderGroups prints one breakdown table in sorted key order.

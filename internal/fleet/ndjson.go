@@ -23,7 +23,12 @@ type NDJSONRow struct {
 	ActiveSec float64 `json:"active_s"`
 	WallSec   float64 `json:"wall_s"`
 	EnergyMJ  float64 `json:"energy_mj"`
-	Err       string  `json:"err,omitempty"`
+	// Diag is the intermittent runner's verdict kind; FFBoots counts
+	// boots skipped by the analytic fast-forward (present only when
+	// non-zero; included in Boots).
+	Diag    string `json:"diag,omitempty"`
+	FFBoots uint64 `json:"ff_boots,omitempty"`
+	Err     string `json:"err,omitempty"`
 }
 
 // NDJSONSink writes one row per line to w. It does not buffer: wrap w
@@ -51,6 +56,8 @@ func (s *NDJSONSink) Consume(i int, r Result) error {
 		ActiveSec: r.ActiveSec,
 		WallSec:   r.WallSec,
 		EnergyMJ:  r.EnergymJ,
+		Diag:      r.Diagnosis,
+		FFBoots:   r.FastForwarded,
 	}
 	if r.Err != nil {
 		row.Err = r.Err.Error()

@@ -216,6 +216,7 @@ func RunStream(src Source, opts StreamOptions) (Report, error) {
 						Engine:    "unknown",
 						Profile:   "unknown",
 						Predicted: -1,
+						Diagnosis: SetupErrorDiagnosis,
 						Err:       fmt.Errorf("fleet: scenario %d: %w", i, err),
 					}
 				} else {

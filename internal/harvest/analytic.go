@@ -170,6 +170,37 @@ func (p SineProfile) ProfilePeriod() float64 {
 // ---------------------------------------------------------------------
 // The engine.
 
+// rechargeAnchor returns the time basis the analytic engine solves
+// on: the phase accumulator for periodic profiles, zero for constant
+// ones, absolute time otherwise (see integrationMode).
+func (c *Capacitor) rechargeAnchor() float64 {
+	switch c.mode {
+	case modePeriodic:
+		return c.phase
+	case modeConstant:
+		return 0
+	default:
+		return c.nowSec
+	}
+}
+
+// finishCycle commits a successful recharge that ended at anchor time
+// t after harvesting gross joules during the off-time: the store is
+// full, the clock advances by the off-time, the phase wraps, and the
+// boot cycle's harvest (discharge plus recharge) folds into the
+// lifetime meter as one per-cycle delta.
+func (c *Capacitor) finishCycle(off, t, gross, target float64) {
+	c.nowSec += off
+	if c.mode == modePeriodic {
+		c.phase = math.Mod(t, c.period)
+	}
+	c.energyJ = target
+	cycle := c.cycleHarvestJ + gross
+	c.harvestedJ += cycle
+	c.lastCycleJ = cycle
+	c.cycleHarvestJ = 0
+}
+
 // rechargeAnalytic advances off-time until the store reaches VOn,
 // walking profile segments and solving each in closed form. On a dead
 // source it returns false WITHOUT mutating the capacitor: exhaustion
@@ -178,9 +209,10 @@ func (c *Capacitor) rechargeAnalytic(ap Analytic) (float64, bool) {
 	target := c.energyAt(c.cfg.VOn)
 	leak := c.cfg.LeakageW
 	if c.energyJ >= target {
+		c.finishCycle(0, c.rechargeAnchor(), 0, c.energyJ)
 		return 0, true
 	}
-	t0 := c.nowSec
+	t0 := c.rechargeAnchor()
 	t, e := t0, c.energyJ
 	var harvested float64
 
@@ -224,14 +256,12 @@ func (c *Capacitor) rechargeAnalytic(ap Analytic) (float64, bool) {
 			dt := (target - e) / net
 			harvested += ap.PowerAt(t) * dt
 			t += dt
-			c.nowSec = t
-			c.energyJ = target
-			c.harvestedJ += harvested
+			c.finishCycle(t-t0, t, harvested, target)
 			return t - t0, true
 		}
 		if u <= t {
 			// Malformed profile: NextChange failed to advance.
-			return c.RechargeEuler(eulerStep, eulerHorizon)
+			return c.rechargeEulerResync()
 		}
 		segEnd := u
 		if !canCharge && anchorNext > t && anchorNext < segEnd {
@@ -242,9 +272,7 @@ func (c *Capacitor) rechargeAnalytic(ap Analytic) (float64, bool) {
 		t += dt
 		e = eEnd
 		if crossed {
-			c.nowSec = t
-			c.energyJ = target
-			c.harvestedJ += harvested
+			c.finishCycle(t-t0, t, harvested, target)
 			return t - t0, true
 		}
 		if !canCharge && t >= anchorNext {
@@ -259,7 +287,18 @@ func (c *Capacitor) rechargeAnalytic(ap Analytic) (float64, bool) {
 		}
 	}
 	// Unreachable for well-formed profiles; integrate as a last resort.
-	return c.RechargeEuler(eulerStep, eulerHorizon)
+	return c.rechargeEulerResync()
+}
+
+// rechargeEulerResync is the malformed-profile fallback: integrate on
+// absolute time and drag the phase accumulator along so a periodic
+// capacitor stays self-consistent.
+func (c *Capacitor) rechargeEulerResync() (float64, bool) {
+	off, ok := c.RechargeEuler(eulerStep, eulerHorizon)
+	if c.mode == modePeriodic {
+		c.phase = math.Mod(c.phase+off, c.period)
+	}
+	return off, ok
 }
 
 // rechargeSegment advances the store across the segment [t, u), on

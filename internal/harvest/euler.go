@@ -25,12 +25,17 @@ func (c *Capacitor) RechargeEuler(step, horizon float64) (float64, bool) {
 		if vmax := c.energyAt(c.cfg.VMax); c.energyJ > vmax {
 			c.energyJ = vmax
 		}
-		c.harvestedJ += p * step
+		c.cycleHarvestJ += p * step
 		c.nowSec += step
 		off += step
 		if off > horizon {
 			return off, false
 		}
 	}
+	// Fold the finished cycle's harvest (discharge plus recharge) into
+	// the lifetime meter, mirroring the analytic path.
+	c.lastCycleJ = c.cycleHarvestJ
+	c.harvestedJ += c.cycleHarvestJ
+	c.cycleHarvestJ = 0
 	return off, true
 }

@@ -165,6 +165,24 @@ func PaperConfig() Config {
 	return Config{CapacitanceF: 100e-6, VOn: 3.3, VOff: 1.8, VMax: 3.6}
 }
 
+// integrationMode selects the time basis the capacitor integrates the
+// profile on. Periodic analytic profiles are integrated on a phase
+// accumulator in [0, period) and constant profiles on a zero anchor,
+// so the energy arithmetic of a boot cycle is independent of how much
+// absolute time precedes it — steady cycles are bit-repeatable at any
+// simulated age, which is what the intermittent runner's analytic
+// fast-forward proves its fixed points on (and what keeps million-
+// second horizons from losing float resolution). Profiles without a
+// closed form, and aperiodic non-constant ones (a hold-last trace),
+// integrate on absolute time as before.
+type integrationMode int
+
+const (
+	modeAbsolute integrationMode = iota
+	modeConstant
+	modePeriodic
+)
+
 // Capacitor is the energy store. It implements device.Supply.
 // Starting full (at VOn) is the conventional t=0 state: the device
 // boots the moment the experiment begins.
@@ -172,10 +190,16 @@ type Capacitor struct {
 	cfg     Config
 	profile Profile
 
+	mode   integrationMode
+	period float64 // profile period (modePeriodic only)
+	phase  float64 // profile phase in [0, period) (modePeriodic only)
+
 	energyJ float64 // current stored energy
 	nowSec  float64 // absolute simulation time (active + off)
 
-	harvestedJ float64 // lifetime harvested energy (diagnostics)
+	harvestedJ    float64 // harvested energy folded at each recharge
+	cycleHarvestJ float64 // harvested energy of the cycle in progress
+	lastCycleJ    float64 // harvested energy of the last full cycle
 }
 
 // NewCapacitor returns a capacitor charged to VOn at t=0 under the
@@ -198,11 +222,21 @@ func NewCapacitor(cfg Config, profile Profile) (*Capacitor, error) {
 			return nil, err
 		}
 	}
-	return &Capacitor{
+	c := &Capacitor{
 		cfg:     cfg,
 		profile: profile,
 		energyJ: 0.5 * cfg.CapacitanceF * cfg.VOn * cfg.VOn,
-	}, nil
+	}
+	if ap, ok := profile.(Analytic); ok {
+		switch pp, periodic := ap.(Periodic); {
+		case periodic && pp.ProfilePeriod() > 0:
+			c.mode = modePeriodic
+			c.period = pp.ProfilePeriod()
+		case math.IsInf(ap.NextChange(0), 1):
+			c.mode = modeConstant
+		}
+	}
+	return c, nil
 }
 
 func (c *Capacitor) energyAt(v float64) float64 {
@@ -214,12 +248,54 @@ func (c *Capacitor) Voltage() float64 {
 	return math.Sqrt(2 * c.energyJ / c.cfg.CapacitanceF)
 }
 
-// Now returns the absolute simulation time in seconds.
+// Now returns the absolute simulation time in seconds. After
+// SkipSteadyCycles it is advanced by the caller-supplied per-cycle
+// wall time, so it stays a diagnostic clock, not a bit-exact one.
 func (c *Capacitor) Now() float64 { return c.nowSec }
 
 // HarvestedJ returns the lifetime harvested energy in joules (gross:
 // energy wasted to the VMax clamp or lost to leakage is included).
-func (c *Capacitor) HarvestedJ() float64 { return c.harvestedJ }
+func (c *Capacitor) HarvestedJ() float64 { return c.harvestedJ + c.cycleHarvestJ }
+
+// CycleHarvestJ returns the gross energy harvested over the most
+// recent full boot cycle (discharge plus the recharge that ended it) —
+// the per-cycle delta SkipSteadyCycles replays.
+func (c *Capacitor) CycleHarvestJ() float64 { return c.lastCycleJ }
+
+// CycleToken captures the supply state that determines how a boot
+// cycle evolves: the stored-energy bits and the profile-phase bits.
+// Two boots starting from equal tokens under a phase-anchored profile
+// see bit-identical supply dynamics, so a repeated token plus a
+// repeated boot ledger record is an exact periodicity proof. ok is
+// false for absolute-time profiles (no phase anchor, no proof).
+type CycleToken struct {
+	EnergyBits uint64
+	PhaseBits  uint64
+}
+
+// CycleToken returns the current supply token; see the type comment.
+func (c *Capacitor) CycleToken() (CycleToken, bool) {
+	if c.mode == modeAbsolute {
+		return CycleToken{}, false
+	}
+	return CycleToken{
+		EnergyBits: math.Float64bits(c.energyJ),
+		PhaseBits:  math.Float64bits(c.phase),
+	}, true
+}
+
+// SkipSteadyCycles fast-forwards the supply across k boot cycles that
+// each repeat the last observed cycle exactly: stored energy and phase
+// are already at their cycle fixed point (a steady cycle starts and
+// ends full at the same phase), the harvest meter replays the
+// per-cycle delta cycleJ fold by fold (bit-identical to k real
+// cycles), and the diagnostic clock advances by k·wallSec.
+func (c *Capacitor) SkipSteadyCycles(k uint64, wallSec, cycleJ float64) {
+	for i := uint64(0); i < k; i++ {
+		c.harvestedJ += cycleJ
+	}
+	c.nowSec += float64(k) * wallSec
+}
 
 // EnergyJ returns the currently stored energy in joules.
 func (c *Capacitor) EnergyJ() float64 { return c.energyJ }
@@ -259,17 +335,28 @@ func (c *Capacitor) Recharge() (float64, bool) {
 }
 
 // integrateHarvest accrues harvested energy over dt seconds of device
-// activity: exactly (closed form) for Analytic profiles, in a single
-// power-at-window-start step otherwise.
+// activity: exactly (closed form) for Analytic profiles — anchored on
+// the phase accumulator for periodic profiles and on zero for constant
+// ones, so the arithmetic does not depend on absolute simulated age —
+// in a single power-at-window-start step otherwise.
 func (c *Capacitor) integrateHarvest(dt float64) {
 	if dt <= 0 {
 		return
 	}
 	var gross float64
-	if ap, ok := c.profile.(Analytic); ok {
-		gross = ap.EnergyBetween(c.nowSec, c.nowSec+dt)
-	} else {
-		gross = c.profile.PowerAt(c.nowSec) * dt
+	switch c.mode {
+	case modePeriodic:
+		ap := c.profile.(Analytic)
+		gross = ap.EnergyBetween(c.phase, c.phase+dt)
+		c.phase = math.Mod(c.phase+dt, c.period)
+	case modeConstant:
+		gross = c.profile.(Analytic).EnergyBetween(0, dt)
+	default:
+		if ap, ok := c.profile.(Analytic); ok {
+			gross = ap.EnergyBetween(c.nowSec, c.nowSec+dt)
+		} else {
+			gross = c.profile.PowerAt(c.nowSec) * dt
+		}
 	}
 	c.energyJ += gross - c.cfg.LeakageW*dt
 	if c.energyJ < 0 {
@@ -278,11 +365,46 @@ func (c *Capacitor) integrateHarvest(dt float64) {
 	if vmax := c.energyAt(c.cfg.VMax); c.energyJ > vmax {
 		c.energyJ = vmax
 	}
-	c.harvestedJ += gross
+	c.cycleHarvestJ += gross
 }
 
 // UsableEnergyJ returns the energy budget of one full charge cycle,
 // ½C(VOn²−VOff²).
 func (c *Capacitor) UsableEnergyJ() float64 {
 	return c.energyAt(c.cfg.VOn) - c.energyAt(c.cfg.VOff)
+}
+
+// BootsToComplete is the Fig. 7(b) arithmetic in closed form: the
+// number of power-failure restarts a workload needing totalJ joules
+// takes when every failed boot delivers the full usable budget usableJ
+// (⌈total/usable⌉ charges, minus the first). It returns 0 when the
+// work fits one charge and is meaningful only for checkpointing
+// programs whose progress survives outages.
+func BootsToComplete(totalJ, usableJ float64) uint64 {
+	if usableJ <= 0 || totalJ <= usableJ {
+		return 0
+	}
+	return uint64(math.Ceil(totalJ/usableJ)) - 1
+}
+
+// BootsToComplete applies the closed form to this capacitor's usable
+// budget.
+func (c *Capacitor) BootsToComplete(totalJ float64) uint64 {
+	return BootsToComplete(totalJ, c.UsableEnergyJ())
+}
+
+// SteadyOffSeconds returns the closed-form mean recharge time of one
+// full VOff→VOn cycle — usable budget over the profile's long-run net
+// power — and false when the mean power cannot beat the leakage (the
+// store never recharges) or the profile has no analytic mean.
+func (c *Capacitor) SteadyOffSeconds() (float64, bool) {
+	ap, ok := c.profile.(Analytic)
+	if !ok {
+		return 0, false
+	}
+	net := ap.MeanPower() - c.cfg.LeakageW
+	if net <= 0 {
+		return 0, false
+	}
+	return c.UsableEnergyJ() / net, true
 }

@@ -19,6 +19,7 @@ import (
 	"ehdl/internal/experiments"
 	"ehdl/internal/fixed"
 	"ehdl/internal/fleet"
+	"ehdl/internal/fleet/memo"
 	"ehdl/internal/harvest"
 	"ehdl/internal/intermittent"
 	"ehdl/internal/nn"
@@ -488,6 +489,63 @@ func BenchmarkFleetStream(b *testing.B) {
 	}
 	b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "devices/s")
 	b.ReportMetric(100*rep.CompletionRate, "completion-%")
+}
+
+// BenchmarkFleetMemo measures the fleet inference memo (PR 6): a
+// 512-device fleet whose jitter is quantized into 8 power classes per
+// engine, so 512 devices collapse into 40 (engine × class) simulation
+// equivalence classes. The memoized run should therefore approach a
+// ~12.8× devices/s speedup over the unmemoized baseline — the
+// ISSUE's >= 10x acceptance gate, measured cold (a fresh memo every
+// iteration, fill cost included).
+func BenchmarkFleetMemo(b *testing.B) {
+	m, in := hostModel(b)
+	kinds := core.AllEngines()
+	const devices = 512
+	src := fleet.FuncSource(devices, func(i int) (fleet.Scenario, error) {
+		setup := core.PaperHarvestSetup()
+		setup.Config.CapacitanceF = 10e-6
+		setup.Profile = harvest.SquareProfile{
+			// The quantized-jitter shape: 8 discrete power classes, as
+			// a scenario file with jitter_steps 8 would draw.
+			PeakWatts: 4e-3 + 1e-4*float64(i%8),
+			Period:    0.1,
+			Duty:      0.5,
+		}
+		return fleet.Scenario{
+			Name:   fmt.Sprintf("dev%04d", i),
+			Engine: kinds[i%len(kinds)],
+			Model:  m,
+			Input:  in,
+			Setup:  setup,
+		}, nil
+	})
+	run := func(b *testing.B, mm func() *memo.Memo) fleet.Report {
+		var rep fleet.Report
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var opts fleet.StreamOptions
+			if mm != nil {
+				opts.Memo = mm()
+			}
+			var err error
+			rep, err = fleet.RunStream(src, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "devices/s")
+		b.ReportMetric(100*rep.CompletionRate, "completion-%")
+		return rep
+	}
+	b.Run("memo=off", func(b *testing.B) { run(b, nil) })
+	b.Run("memo=on", func(b *testing.B) {
+		rep := run(b, func() *memo.Memo { return memo.New(0) })
+		if rep.Memo == nil {
+			b.Fatal("memoized run reported no stats")
+		}
+		b.ReportMetric(100*float64(rep.Memo.Hits())/float64(devices), "hit-%")
+	})
 }
 
 // BenchmarkCheckpointOverhead regenerates §IV-A.5: FLEX's

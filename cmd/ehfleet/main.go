@@ -8,12 +8,14 @@
 // Usage:
 //
 //	ehfleet -model mnist.gob [-n 16] [-engine ace+flex] [-jitter 0.2]
-//	        [-profile square|sine|const|trace] [-power 5e-3]
-//	        [-period 0.1] [-duty 0.5] [-trace solar.csv] [-trace-repeat]
-//	        [-cap 100e-6] [-leak 0] [-workers 0] [-seed 1]
-//	        [-out rows.ndjson] [-progress]
+//	        [-jitter-steps 0] [-profile square|sine|const|trace]
+//	        [-power 5e-3] [-period 0.1] [-duty 0.5] [-trace solar.csv]
+//	        [-trace-repeat] [-cap 100e-6] [-leak 0] [-workers 0]
+//	        [-seed 1] [-out rows.ndjson] [-progress]
+//	        [-memo] [-memo-cap 65536] [-memo-tag]
 //	ehfleet -scenarios fleet.json [-n 0] [-workers 0] [-seed 1]
-//	        [-out rows.ndjson] [-progress]
+//	        [-out rows.ndjson] [-progress] [-memo] [-memo-cap 65536]
+//	        [-memo-tag]
 //
 // The first form builds a homogeneous fleet from flags: -engine
 // accepts one runtime, a comma-separated list cycled across the
@@ -31,6 +33,16 @@
 // to millions of devices in constant memory; -out streams one NDJSON
 // row per device, in scenario order, and -progress reports throughput
 // on stderr while the fleet runs.
+//
+// -memo turns on fleet-wide inference memoization (see the README's
+// "Fleet memoization" section): devices whose content-addressed run —
+// engine, model, input, harvest fingerprint — was already simulated
+// replay the cached outcome. Output is bit-identical with or without
+// it. A scenario file's "memo" block sets the default; explicit -memo
+// / -memo-cap flags win. -memo-tag adds each row's hit/miss tag to
+// the NDJSON output (off by default because the tag varies with
+// worker scheduling). -jitter-steps quantizes the flag-mode jitter
+// draw so jittered devices dedup (scenario files: "jitter_steps").
 package main
 
 import (
@@ -46,6 +58,7 @@ import (
 	"ehdl/internal/core"
 	"ehdl/internal/fixed"
 	"ehdl/internal/fleet"
+	"ehdl/internal/fleet/memo"
 	"ehdl/internal/harvest"
 )
 
@@ -69,12 +82,16 @@ func main() {
 	tracePath := flag.String("trace", "", "harvesting trace CSV (with -profile trace)")
 	traceRepeat := flag.Bool("trace-repeat", false, "repeat the trace instead of holding its last value")
 	jitter := flag.Float64("jitter", 0.2, "per-device power spread fraction in [0, 1)")
+	jitterSteps := flag.Int("jitter-steps", 0, "quantize the jitter draw to this many bins (0 = continuous); quantized fleets dedup under -memo")
 	capF := flag.Float64("cap", 100e-6, "capacitance in farads")
 	leak := flag.Float64("leak", 0, "parasitic leakage in watts")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "dataset and jitter seed")
 	out := flag.String("out", "", "stream per-device rows to this NDJSON file")
 	progress := flag.Bool("progress", false, "report streaming progress on stderr")
+	memoOn := flag.Bool("memo", false, "memoize identical device runs (bit-identical output, less host time)")
+	memoCap := flag.Int("memo-cap", 0, "memo LRU capacity in entries (0 = default)")
+	memoTag := flag.Bool("memo-tag", false, "add each row's memo hit/miss tag to the NDJSON output")
 	flag.Parse()
 
 	var src fleet.Source
@@ -86,7 +103,8 @@ func main() {
 		shapeFlags := map[string]bool{
 			"model": true, "engine": true, "profile": true,
 			"power": true, "period": true, "duty": true, "trace": true,
-			"trace-repeat": true, "jitter": true, "cap": true, "leak": true,
+			"trace-repeat": true, "jitter": true, "jitter-steps": true,
+			"cap": true, "leak": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if shapeFlags[f.Name] {
@@ -108,6 +126,21 @@ func main() {
 			}
 			// -n 0 keeps the declared size, as the flag help says.
 		}
+		// The file's "memo" block supplies defaults; explicit -memo /
+		// -memo-cap flags win.
+		memoSet, memoCapSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			memoSet = memoSet || f.Name == "memo"
+			memoCapSet = memoCapSet || f.Name == "memo-cap"
+		})
+		if ms := fileSrc.Memo(); ms != nil {
+			if !memoSet {
+				*memoOn = ms.Enabled
+			}
+			if !memoCapSet && ms.Capacity != 0 {
+				*memoCap = ms.Capacity
+			}
+		}
 		src = fileSrc
 		header = fmt.Sprintf("scenario file: %s   devices: %d", *scenarios, src.Len())
 	} else {
@@ -122,6 +155,7 @@ func main() {
 			trace:       *tracePath,
 			traceRepeat: *traceRepeat,
 			jitter:      *jitter,
+			jitterSteps: *jitterSteps,
 			capF:        *capF,
 			leak:        *leak,
 			n:           *n,
@@ -134,6 +168,9 @@ func main() {
 	}
 
 	opts := fleet.StreamOptions{Workers: *workers}
+	if *memoOn {
+		opts.Memo = memo.New(*memoCap)
+	}
 
 	var sinks []fleet.Sink
 	var flush func() error
@@ -143,7 +180,9 @@ func main() {
 			log.Fatal(err)
 		}
 		w := bufio.NewWriterSize(f, 1<<20)
-		sinks = append(sinks, fleet.NewNDJSONSink(w))
+		sink := fleet.NewNDJSONSink(w)
+		sink.TagMemo = *memoTag
+		sinks = append(sinks, sink)
 		flush = func() error {
 			if err := w.Flush(); err != nil {
 				return err
@@ -197,6 +236,7 @@ type flagFleet struct {
 	period      float64
 	duty        float64
 	jitter      float64
+	jitterSteps int
 	capF        float64
 	leak        float64
 	n           int
@@ -212,6 +252,9 @@ func flagSource(f flagFleet) (fleet.Source, error) {
 	}
 	if f.jitter < 0 || f.jitter >= 1 {
 		return nil, fmt.Errorf("-jitter must be in [0, 1), got %g", f.jitter)
+	}
+	if f.jitterSteps < 0 {
+		return nil, fmt.Errorf("-jitter-steps must be >= 0, got %d", f.jitterSteps)
 	}
 	if f.n < 1 {
 		return nil, fmt.Errorf("-n must be >= 1, got %d", f.n)
@@ -254,7 +297,7 @@ func flagSource(f flagFleet) (fleet.Source, error) {
 
 	return fleet.FuncSource(f.n, func(i int) (fleet.Scenario, error) {
 		prof, err := cli.BuildProfile(f.profile, f.power, f.period, f.duty, baseTrace,
-			cli.JitterScale(f.seed, i, f.jitter))
+			cli.QuantizedJitterScale(f.seed, i, f.jitter, f.jitterSteps))
 		if err != nil {
 			return fleet.Scenario{}, err
 		}

@@ -25,6 +25,7 @@ import (
 	"ehdl/internal/exec"
 	"ehdl/internal/fixed"
 	"ehdl/internal/fleet"
+	"ehdl/internal/fleet/memo"
 	"ehdl/internal/intermittent"
 	"ehdl/internal/nn"
 	"ehdl/internal/quant"
@@ -199,3 +200,22 @@ func FleetNDJSONSink(w io.Writer) FleetSink { return fleet.NewNDJSONSink(w) }
 func StreamFleet(src FleetSource, opts FleetStreamOptions) (FleetReport, error) {
 	return fleet.RunStream(src, opts)
 }
+
+// FleetMemo is the content-addressed inference memo: set it on
+// FleetStreamOptions.Memo to dedup identical device runs. Tier 1
+// replays whole outcomes keyed on (engine, model digest, input
+// digest, harvest fingerprint); Tier 2 replays the compute side of
+// voltage-oblivious engines when the inference provably fits one
+// capacitor charge. Rows and report stay bit-identical to an
+// unmemoized run; counters land in FleetReport.Memo.
+type FleetMemo = memo.Memo
+
+// FleetMemoStats is the memo's counter snapshot (hits by tier,
+// misses, fills, LRU occupancy and evictions).
+type FleetMemoStats = memo.Stats
+
+// NewFleetMemo returns a fleet inference memo bounded to capacity
+// entries (<= 0 selects the package default, 65536). The same memo
+// may be shared across StreamFleet calls to carry warm state between
+// sweeps.
+func NewFleetMemo(capacity int) *FleetMemo { return memo.New(capacity) }

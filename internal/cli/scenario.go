@@ -39,6 +39,23 @@ import (
 type ScenarioFile struct {
 	Defaults DeviceSpec   `json:"defaults"`
 	Devices  []DeviceSpec `json:"devices"`
+	// Memo configures fleet-wide inference memoization for this
+	// scenario (nil = leave it to the -memo flags).
+	Memo *MemoSpec `json:"memo,omitempty"`
+}
+
+// MemoSpec is the scenario file's memoization block:
+//
+//	"memo": { "enabled": true, "capacity": 65536 }
+//
+// Enabled turns the content-addressed run memo on for the fleet;
+// Capacity bounds its LRU (0 = the memo package default). Results are
+// bit-identical with the memo on or off — the knob trades memory for
+// host time only — so scenario authors enable it wherever devices
+// share (engine, model, input, waveform) equivalence classes.
+type MemoSpec struct {
+	Enabled  bool `json:"enabled"`
+	Capacity int  `json:"capacity,omitempty"`
 }
 
 // DeviceSpec declares one (possibly repeated) device of the fleet.
@@ -62,6 +79,12 @@ type DeviceSpec struct {
 	// Jitter spreads each expanded device's harvest power uniformly in
 	// [1-j, 1+j], deterministically from the expansion seed.
 	Jitter *float64 `json:"jitter,omitempty"`
+	// JitterSteps quantizes the jitter draw to that many equal-width
+	// bins (midpoint of each), so jittered devices collapse into at
+	// most JitterSteps harvest equivalence classes per spec — what
+	// makes fleet memoization effective on jittered fleets. 0 (the
+	// default) keeps the continuous draw.
+	JitterSteps *int `json:"jitter_steps,omitempty"`
 	// Profile selects the harvest waveform (replaces the default
 	// profile wholesale when present).
 	Profile *ProfileSpec `json:"profile,omitempty"`

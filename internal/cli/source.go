@@ -2,9 +2,10 @@ package cli
 
 // This file compiles a scenario file into a lazy fleet.Source: every
 // cross-device resource — model artifacts, datasets, converted test
-// inputs, harvest traces — is loaded and validated once up front, and
-// individual fleet.Scenarios are then built on demand. A
-// million-device fleet costs O(specs) memory to hold, not O(devices):
+// inputs, harvest traces — is loaded and validated once up front and
+// then served from a bounded LRU, and individual fleet.Scenarios are
+// built on demand. A million-device fleet costs O(cache capacity)
+// memory to hold, not O(devices) and not O(distinct artifacts):
 // cmd/ehfleet streams scenarios straight from the source into
 // fleet.RunStream. Per-device randomness (the jitter draw) is keyed
 // by (seed, global device index), so expansion is deterministic and
@@ -13,33 +14,37 @@ package cli
 
 import (
 	"fmt"
+	"math"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"ehdl/internal/core"
 	"ehdl/internal/dataset"
 	"ehdl/internal/fixed"
 	"ehdl/internal/fleet"
+	"ehdl/internal/fleet/memo"
 	"ehdl/internal/harvest"
 	"ehdl/internal/intermittent"
 	"ehdl/internal/quant"
 )
 
 // compiledSpec is one fully-resolved device spec: everything shared
-// by its expanded devices, loaded and validated.
+// by its expanded devices. The model artifact is referenced by
+// resolved path and fetched through the source's bounded store, so a
+// fleet mixing hundreds of artifacts does not pin them all.
 type compiledSpec struct {
-	name   string
-	count  int
-	engine core.EngineKind
-	cfg    harvest.Config
-	jitter float64
-	prof   ProfileSpec
-	trace  *harvest.TraceProfile // preloaded for kind "trace"
-	model  *quant.Model
-	set    *dataset.Set
-	inputs [][]fixed.Q15        // test set converted to Q15, shared read-only
-	sample *int                 // explicit test-sample override
-	runner *intermittent.Runner // boot-budget overrides (nil = defaults)
+	name        string
+	count       int
+	engine      core.EngineKind
+	cfg         harvest.Config
+	jitter      float64
+	jitterSteps int
+	prof        ProfileSpec
+	trace       *harvest.TraceProfile // preloaded for kind "trace"
+	modelPath   string                // resolved artifact path (store key)
+	sample      *int                  // explicit test-sample override
+	runner      *intermittent.Runner  // boot-budget overrides (nil = defaults)
 }
 
 // FleetSource is a compiled scenario file: a lazy, concurrency-safe
@@ -50,6 +55,8 @@ type FleetSource struct {
 	seed    int64
 	specs   []compiledSpec
 	cum     []int // cum[k] = first natural index of spec k; len(specs)+1
+	store   *artifactStore
+	memo    *MemoSpec // the file's "memo" block (nil when absent)
 }
 
 // LoadFleetSource parses and compiles the scenario file at path.
@@ -65,13 +72,10 @@ func LoadFleetSource(path string, seed int64) (*FleetSource, error) {
 	}
 	c := &compiler{
 		baseDir: filepath.Dir(path),
-		seed:    seed,
-		models:  map[string]*quant.Model{},
-		sets:    map[string]*dataset.Set{},
-		inputs:  map[string][][]fixed.Q15{},
+		store:   newArtifactStore(seed),
 		traces:  map[string]*harvest.TraceProfile{},
 	}
-	src := &FleetSource{seed: seed, cum: []int{0}}
+	src := &FleetSource{seed: seed, cum: []int{0}, store: c.store, memo: sf.Memo}
 	for di := range sf.Devices {
 		spec, err := c.compile(&sf.Defaults, &sf.Devices[di], di)
 		if err != nil {
@@ -89,12 +93,17 @@ func LoadFleetSource(path string, seed int64) (*FleetSource, error) {
 // Len implements fleet.Source.
 func (s *FleetSource) Len() int { return s.n }
 
+// Memo returns the scenario file's "memo" block, nil when the file
+// declares none. cmd/ehfleet resolves it against the -memo flags.
+func (s *FleetSource) Memo() *MemoSpec { return s.memo }
+
 // Resize returns a view of the source with exactly n devices: the
 // declared fleet is truncated or cycled (device i maps to declared
 // device i mod the natural size), with jitter and sample cycling
 // keyed by the global index so every clone is a distinct device.
 // Resized fleets name devices "spec/i" with the global index. n <= 0
-// restores the natural size.
+// restores the natural size. The artifact store is shared with the
+// original source.
 func (s *FleetSource) Resize(n int) *FleetSource {
 	out := *s
 	if n <= 0 {
@@ -105,9 +114,10 @@ func (s *FleetSource) Resize(n int) *FleetSource {
 }
 
 // At implements fleet.Source: it builds scenario i from the compiled
-// specs. The model pointer, dataset and converted input are shared
-// across every device that uses them; only the per-device profile is
-// constructed here.
+// specs. The model, dataset and converted inputs come from the
+// bounded artifact store (shared across every device that uses them,
+// reloaded deterministically if evicted); only the per-device profile
+// is constructed here.
 func (s *FleetSource) At(i int) (fleet.Scenario, error) {
 	if i < 0 || i >= s.n {
 		return fleet.Scenario{}, fmt.Errorf("device %d out of range (fleet has %d)", i, s.n)
@@ -116,11 +126,15 @@ func (s *FleetSource) At(i int) (fleet.Scenario, error) {
 	k := sort.Search(len(s.specs), func(k int) bool { return s.cum[k+1] > base })
 	spec := &s.specs[k]
 
+	b, err := s.store.bundle(spec.modelPath)
+	if err != nil {
+		return fleet.Scenario{}, err
+	}
 	profile, err := s.buildProfile(spec, i)
 	if err != nil {
 		return fleet.Scenario{}, err
 	}
-	sampleIdx := i % len(spec.inputs)
+	sampleIdx := i % len(b.inputs)
 	if spec.sample != nil {
 		sampleIdx = *spec.sample
 	}
@@ -134,14 +148,14 @@ func (s *FleetSource) At(i int) (fleet.Scenario, error) {
 	return fleet.Scenario{
 		Name:   name,
 		Engine: spec.engine,
-		Model:  spec.model,
-		Input:  spec.inputs[sampleIdx],
+		Model:  b.model,
+		Input:  b.inputs[sampleIdx],
 		Setup:  core.HarvestSetup{Config: spec.cfg, Profile: profile, Runner: spec.runner},
 	}, nil
 }
 
 func (s *FleetSource) buildProfile(spec *compiledSpec, i int) (harvest.Profile, error) {
-	scale := JitterScale(s.seed, i, spec.jitter)
+	scale := QuantizedJitterScale(s.seed, i, spec.jitter, spec.jitterSteps)
 	return BuildProfile(spec.prof.Kind,
 		orDefault(spec.prof.PowerW, defaultPowerW),
 		orDefault(spec.prof.Period, defaultPeriod),
@@ -154,10 +168,25 @@ func (s *FleetSource) buildProfile(spec *compiledSpec, i int) (harvest.Profile, 
 // index) alone, so any device of any fleet size can be built
 // independently — no shared rng stream to replay.
 func JitterScale(seed int64, i int, jitter float64) float64 {
+	return QuantizedJitterScale(seed, i, jitter, 0)
+}
+
+// QuantizedJitterScale is JitterScale with the draw snapped to the
+// midpoints of steps equal-width bins over [0, 1) (steps <= 0 keeps
+// the continuous draw). Quantization trades waveform variety for
+// fleet-memo hit rate: a 10k-device spec with jitter_steps 32 has at
+// most 32 distinct harvest fingerprints instead of 10k, so all but
+// one device per bin replay from the Tier-1 cache while the fleet
+// still spans the full ±jitter spread.
+func QuantizedJitterScale(seed int64, i int, jitter float64, steps int) float64 {
 	if jitter == 0 {
 		return 1
 	}
-	return 1 + jitter*(2*unitFloat(seed, i)-1)
+	u := unitFloat(seed, i)
+	if steps > 0 {
+		u = (math.Floor(u*float64(steps)) + 0.5) / float64(steps)
+	}
+	return 1 + jitter*(2*u-1)
 }
 
 // unitFloat maps (seed, i) to a uniform float64 in [0, 1) via a
@@ -170,21 +199,80 @@ func unitFloat(seed int64, i int) float64 {
 	return float64(z>>11) / (1 << 53)
 }
 
-// compiler carries the shared state of one compilation: each distinct
-// model artifact, dataset, converted input set and trace is loaded
-// once and shared by every spec that names it.
+// DefaultArtifactCacheCap bounds how many distinct model artifacts
+// (with their datasets and converted inputs) a fleet source keeps
+// loaded at once. 64 covers every bundled scenario many times over
+// while capping memory for fleets that sweep hundreds of artifacts.
+const DefaultArtifactCacheCap = 64
+
+// artifactCacheCap is the live bound (a var so tests can shrink it to
+// force eviction).
+var artifactCacheCap = DefaultArtifactCacheCap
+
+// modelBundle is everything a device spec derives from one model
+// artifact: the model, its matching dataset, and the test inputs
+// converted to Q15 — loaded together, evicted together.
+type modelBundle struct {
+	model  *quant.Model
+	set    *dataset.Set
+	inputs [][]fixed.Q15
+}
+
+// artifactStore serves model bundles through a bounded LRU (the memo
+// package's, doing double duty as the ROADMAP's model-store LRU).
+// Reloading an evicted bundle is deterministic — artifacts are
+// immutable files and datasets are generated from the expansion seed
+// — so eviction changes pointer identity, never content: memoization
+// keys on the content digest and sees the same model either way.
+type artifactStore struct {
+	mu   sync.Mutex // also serializes loads: misses are rare after warm-up
+	seed int64
+	lru  *memo.LRU[string, *modelBundle]
+}
+
+func newArtifactStore(seed int64) *artifactStore {
+	return &artifactStore{seed: seed, lru: memo.NewLRU[string, *modelBundle](artifactCacheCap)}
+}
+
+// bundle returns the bundle for the resolved artifact path, loading
+// (or reloading, after eviction) on miss.
+func (a *artifactStore) bundle(resolved string) (*modelBundle, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b, ok := a.lru.Get(resolved); ok {
+		return b, nil
+	}
+	m, err := LoadModel(resolved)
+	if err != nil {
+		return nil, err
+	}
+	set, err := DatasetFor(m, a.seed)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([][]fixed.Q15, len(set.Test))
+	for i := range set.Test {
+		inputs[i] = fixed.FromFloats(set.Test[i].Input)
+	}
+	b := &modelBundle{model: m, set: set, inputs: inputs}
+	a.lru.Add(resolved, b)
+	return b, nil
+}
+
+// compiler carries the shared state of one compilation. Model bundles
+// go through the source's bounded store; traces stay pinned here and
+// on their specs (one trace per spec at most, so they are bounded by
+// the file's spec count, not the fleet size).
 type compiler struct {
 	baseDir string
-	seed    int64
-	models  map[string]*quant.Model
-	sets    map[string]*dataset.Set
-	inputs  map[string][][]fixed.Q15
+	store   *artifactStore
 	traces  map[string]*harvest.TraceProfile
 }
 
 // compile resolves one device spec (with defaults) into its shared,
 // validated form. Everything that can fail is checked here so that
-// FleetSource.At cannot surprise a million-device run midway.
+// FleetSource.At cannot surprise a million-device run midway —
+// including one load of the model bundle, which also warms the store.
 func (c *compiler) compile(def, d *DeviceSpec, di int) (compiledSpec, error) {
 	spec := compiledSpec{name: specName(d, di), count: 1}
 	if cnt := pick(d.Count, def.Count); cnt != nil {
@@ -201,8 +289,9 @@ func (c *compiler) compile(def, d *DeviceSpec, di int) (compiledSpec, error) {
 	if modelPath == "" {
 		return spec, fmt.Errorf("no model path (set it on the device or in defaults)")
 	}
-	var err error
-	if spec.model, spec.set, spec.inputs, err = c.model(modelPath); err != nil {
+	spec.modelPath = resolvePath(c.baseDir, modelPath)
+	bundle, err := c.store.bundle(spec.modelPath)
+	if err != nil {
 		return spec, err
 	}
 
@@ -231,6 +320,12 @@ func (c *compiler) compile(def, d *DeviceSpec, di int) (compiledSpec, error) {
 	if spec.jitter < 0 || spec.jitter >= 1 {
 		return spec, fmt.Errorf("jitter must be in [0, 1), got %g", spec.jitter)
 	}
+	if js := pick(d.JitterSteps, def.JitterSteps); js != nil {
+		spec.jitterSteps = *js
+	}
+	if spec.jitterSteps < 0 {
+		return spec, fmt.Errorf("jitter_steps must be >= 0, got %d", spec.jitterSteps)
+	}
 
 	spec.prof = paperProfile
 	if p := d.Profile; p != nil {
@@ -257,7 +352,7 @@ func (c *compiler) compile(def, d *DeviceSpec, di int) (compiledSpec, error) {
 	}
 
 	if s := pick(d.Sample, def.Sample); s != nil {
-		if _, err := Sample(spec.set, *s); err != nil {
+		if _, err := Sample(bundle.set, *s); err != nil {
 			return spec, err
 		}
 		spec.sample = s
@@ -281,34 +376,6 @@ func (c *compiler) compile(def, d *DeviceSpec, di int) (compiledSpec, error) {
 		}
 	}
 	return spec, nil
-}
-
-// model loads (once) the artifact at path, the dataset matching it,
-// and the dataset's test inputs converted to Q15.
-func (c *compiler) model(path string) (*quant.Model, *dataset.Set, [][]fixed.Q15, error) {
-	resolved := resolvePath(c.baseDir, path)
-	m, ok := c.models[resolved]
-	if !ok {
-		var err error
-		if m, err = LoadModel(resolved); err != nil {
-			return nil, nil, nil, err
-		}
-		c.models[resolved] = m
-	}
-	set, ok := c.sets[m.Name]
-	if !ok {
-		var err error
-		if set, err = DatasetFor(m, c.seed); err != nil {
-			return nil, nil, nil, err
-		}
-		c.sets[m.Name] = set
-		inputs := make([][]fixed.Q15, len(set.Test))
-		for i := range set.Test {
-			inputs[i] = fixed.FromFloats(set.Test[i].Input)
-		}
-		c.inputs[m.Name] = inputs
-	}
-	return m, set, c.inputs[m.Name], nil
 }
 
 // trace loads (once) the CSV trace the spec names.

@@ -37,6 +37,22 @@ func AllEngines() []EngineKind {
 	return []EngineKind{EngineBase, EngineSONIC, EngineTAILS, EngineACE, EngineACEFLEX}
 }
 
+// VoltageOblivious reports whether the engine's operation stream is
+// independent of the supply rail: base, SONIC, TAILS and plain ACE
+// never sample the capacitor voltage, so up to the moment of a
+// brown-out they execute the same ops in the same order under any
+// harvest waveform. ACE+FLEX is excluded — FLEX's checkpoint policy
+// reads the rail, so even the compute stream depends on the profile.
+// Fleet memoization uses this as the precondition for serving
+// compute-only (Tier-2) cache hits.
+func VoltageOblivious(kind EngineKind) bool {
+	switch kind {
+	case EngineBase, EngineSONIC, EngineTAILS, EngineACE:
+		return true
+	}
+	return false
+}
+
 // NewEngine constructs the chosen runtime over a flashed model store.
 // fxCfg applies only to EngineACEFLEX (nil = flex.DefaultConfig).
 func NewEngine(kind EngineKind, d *device.Device, store *exec.ModelStore, input []fixed.Q15, fxCfg *flex.Config) (exec.Engine, error) {

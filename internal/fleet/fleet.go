@@ -24,6 +24,7 @@ import (
 
 	"ehdl/internal/core"
 	"ehdl/internal/fixed"
+	"ehdl/internal/fleet/memo"
 	"ehdl/internal/harvest"
 	"ehdl/internal/quant"
 )
@@ -61,6 +62,14 @@ type Result struct {
 	FastForwarded uint64
 	// Err is the intermittent sentinel on a DNF, or a setup error.
 	Err error
+	// Memo tags how the row was obtained when the run was memoized:
+	// "miss" (simulated and cached), "hit-full" (whole outcome
+	// replayed), or "hit-compute" (compute side replayed, boot-0
+	// completion synthesized). Empty when the memo is off or the
+	// scenario could not be content-addressed. The tag is diagnostic
+	// only — racing workers may split hits and misses differently run
+	// to run — so the aggregator and the default NDJSON rows ignore it.
+	Memo string
 }
 
 // Report aggregates a fleet run.
@@ -98,6 +107,12 @@ type Report struct {
 	// FastForwardedBoots totals the boots the intermittent runner
 	// skipped analytically across the fleet (included in TotalBoots).
 	FastForwardedBoots uint64
+
+	// Memo holds the inference memo's counters when the run was
+	// memoized (nil otherwise). The hit/miss split is scheduling-
+	// dependent — see memo.Stats — but hits+misses always equals the
+	// devices that consulted the memo.
+	Memo *memo.Stats
 
 	// HostSeconds is the real time the sweep took.
 	HostSeconds float64
@@ -253,6 +268,10 @@ func RenderReport(r Report) string {
 	if r.FastForwardedBoots > 0 {
 		fmt.Fprintf(&b, "fast-forward: %d of %d boots solved analytically\n",
 			r.FastForwardedBoots, r.TotalBoots)
+	}
+	if m := r.Memo; m != nil {
+		fmt.Fprintf(&b, "memo: %d hits (%d full, %d compute), %d misses, %d fills, %d/%d entries, %d evicted\n",
+			m.Hits(), m.FullHits, m.ComputeHits, m.Misses, m.Fills, m.Entries, m.Capacity, m.Evictions)
 	}
 	renderGroups(&b, "engine", r.Engines)
 	renderGroups(&b, "profile", r.Profiles)

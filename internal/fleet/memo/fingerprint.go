@@ -1,0 +1,97 @@
+package memo
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"ehdl/internal/flex"
+	"ehdl/internal/harvest"
+	"ehdl/internal/intermittent"
+)
+
+// harvestFingerprint condenses everything outside the compute stream
+// that shapes an intermittent run — capacitor config, harvest
+// waveform (with any per-device jitter already folded into its power
+// parameters), FLEX policy, and runner limits — into one 64-bit
+// FNV-1a value for the Tier-1 key. Two devices with equal
+// fingerprints (and equal engine/model/input) run bit-identical
+// simulations.
+//
+// ok is false for Profile implementations the switch does not know:
+// a custom profile could carry state this hash would miss, and a
+// false Tier-1 hit is the one failure mode the memo must never have,
+// so unknown profiles bypass memoization entirely.
+func harvestFingerprint(cfg harvest.Config, p harvest.Profile, fx *flex.Config, r *intermittent.Runner) (uint64, bool) {
+	h := fnv.New64a()
+	var buf [8]byte
+	u := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f := func(v float64) { u(math.Float64bits(v)) }
+	b := func(v bool) {
+		if v {
+			u(1)
+		} else {
+			u(0)
+		}
+	}
+
+	f(cfg.CapacitanceF)
+	f(cfg.VOn)
+	f(cfg.VOff)
+	f(cfg.VMax)
+	f(cfg.LeakageW)
+
+	switch pp := p.(type) {
+	case harvest.ConstantProfile:
+		u(1)
+		f(pp.Watts)
+	case *harvest.ConstantProfile:
+		u(1)
+		f(pp.Watts)
+	case harvest.SquareProfile:
+		u(2)
+		f(pp.PeakWatts)
+		f(pp.Period)
+		f(pp.Duty)
+	case *harvest.SquareProfile:
+		u(2)
+		f(pp.PeakWatts)
+		f(pp.Period)
+		f(pp.Duty)
+	case harvest.SineProfile:
+		u(3)
+		f(pp.PeakWatts)
+		f(pp.Period)
+	case *harvest.SineProfile:
+		u(3)
+		f(pp.PeakWatts)
+		f(pp.Period)
+	case *harvest.TraceProfile:
+		u(4)
+		u(pp.Fingerprint())
+	default:
+		return 0, false
+	}
+
+	if fx == nil {
+		u(0)
+	} else {
+		u(1)
+		f(fx.VWarn)
+		u(uint64(fx.SampleStride))
+	}
+	if r == nil {
+		u(0)
+	} else {
+		u(1)
+		u(r.MaxBoots)
+		u(uint64(r.StagnationLimit))
+		b(r.AssumeProgress)
+		b(r.NoFastForward)
+		u(uint64(r.LedgerDepth))
+	}
+	return h.Sum64(), true
+}

@@ -1,0 +1,93 @@
+package memo
+
+// A small generic LRU used twice by the fleet layer: internally by
+// Memo to bound the result cache, and by internal/cli to bound the
+// loaded model-artifact store for fleets that mix hundreds of
+// artifacts (the ROADMAP's model-store LRU). It is deliberately
+// simple: one mutex, a doubly-linked recency list, first-writer-wins
+// inserts.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a bounded, concurrency-safe least-recently-used map.
+type LRU[K comparable, V any] struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	idx       map[K]*list.Element
+	evictions uint64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU returns an LRU holding at most capacity entries (capacity
+// < 1 is clamped to 1: a cache that can hold nothing would turn every
+// Add into a silent drop).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		idx:      make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value under k, bumping its recency.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.idx[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.ll.MoveToFront(el)
+	return el.Value.(*lruEntry[K, V]).val, true
+}
+
+// Add inserts v under k unless the key is already present
+// (first-writer-wins: racing fills keep the first value, so a cached
+// entry never changes once readers may have replayed it). It reports
+// whether the insert happened, evicting the least-recently-used entry
+// when the cache is full.
+func (l *LRU[K, V]) Add(k K, v V) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.idx[k]; ok {
+		l.ll.MoveToFront(el)
+		return false
+	}
+	l.idx[k] = l.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
+	for l.ll.Len() > l.capacity {
+		oldest := l.ll.Back()
+		l.ll.Remove(oldest)
+		delete(l.idx, oldest.Value.(*lruEntry[K, V]).key)
+		l.evictions++
+	}
+	return true
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}
+
+// Capacity returns the configured bound.
+func (l *LRU[K, V]) Capacity() int { return l.capacity }
+
+// Evictions returns how many entries were dropped to make room.
+func (l *LRU[K, V]) Evictions() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions
+}

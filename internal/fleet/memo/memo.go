@@ -1,0 +1,284 @@
+// Package memo is the fleet's content-addressed inference memo: a
+// bounded, concurrency-safe cache the fleet workers consult before
+// simulating a device, so a million-device sweep that cycles a
+// handful of quantized inputs over a few models and engines turns
+// into a handful of real simulations plus a map lookup per device.
+//
+// Two tiers share one LRU:
+//
+//   - Tier 1 keys the ENTIRE intermittent outcome on (engine, model
+//     content digest, input digest, harvest fingerprint), where the
+//     harvest fingerprint covers the capacitor config, the profile
+//     waveform with the per-device jitter scale folded in, and any
+//     FLEX/runner overrides. Two devices with equal Tier-1 keys run
+//     bit-identical simulations, so the cached row replays directly.
+//   - Tier 2 keys the compute side alone on (engine, model digest,
+//     input digest) and stores the single-charge run: prediction,
+//     active time, and energy of an inference that completed on its
+//     first boot. It is served only when that outcome is provably
+//     harvest-independent — the engine never samples the rail voltage
+//     (base, sonic, tails, ace; FLEX's checkpoint policy reads the
+//     rail, so ace+flex is excluded) and the whole inference fits the
+//     querying device's usable charge even if it harvested nothing —
+//     in which case the device completes on boot 0 with exactly the
+//     cached compute stream, whatever its waveform or jitter.
+//
+// Everything served is bit-identical to the unmemoized pipeline:
+// hits replay values produced by a real simulation of an equivalent
+// device, racing fills keep the first value, and an LRU miss simply
+// re-simulates (and re-fills) deterministically. Only the hit/miss
+// counters depend on scheduling.
+package memo
+
+import (
+	"math"
+	gosync "sync"
+
+	"ehdl/internal/fixed"
+	"ehdl/internal/flex"
+	"ehdl/internal/harvest"
+	"ehdl/internal/intermittent"
+	"ehdl/internal/quant"
+)
+
+// DefaultCapacity bounds the memo when the caller does not choose a
+// size: 64k entries of ~150 B is a ~10 MB ceiling, far above the
+// equivalence-class count of any scenario-grid fleet.
+const DefaultCapacity = 1 << 16
+
+// Key is the content address of one device run. Tier-2 keys zero the
+// harvest fingerprint: the compute side does not depend on it.
+type Key struct {
+	Tier    uint8
+	Engine  string
+	Model   [32]byte
+	Input   [32]byte
+	Harvest uint64
+}
+
+// Outcome is a cached Tier-1 row: everything the fleet's aggregator
+// and NDJSON sink consume, minus the per-device name.
+type Outcome struct {
+	Profile       string
+	Completed     bool
+	Predicted     int
+	Boots         uint64
+	ActiveSec     float64
+	WallSec       float64
+	EnergymJ      float64
+	Diagnosis     string
+	FastForwarded uint64
+	// Err is the run's sentinel error value, shared by every replayed
+	// row (errors are immutable; sinks only render Err.Error()).
+	Err error
+}
+
+// compute is a cached Tier-2 entry: the harvest-independent
+// single-charge inference of (engine, model, input).
+type compute struct {
+	Predicted int
+	ActiveSec float64
+	EnergymJ  float64
+}
+
+// Device describes one lookup: the scenario fields that address the
+// cache plus the ones eligibility decisions read.
+type Device struct {
+	Engine string
+	// VoltageOblivious marks engines that never sample the supply
+	// rail (see core.VoltageOblivious) — the precondition for Tier 2.
+	VoltageOblivious bool
+	Model            *quant.Model
+	Input            []fixed.Q15
+	Config           harvest.Config
+	Profile          harvest.Profile
+	Flex             *flex.Config
+	Runner           *intermittent.Runner
+}
+
+// Probe is a prepared lookup: the device plus its two content keys.
+type Probe struct {
+	dev     Device
+	full    Key
+	computK Key
+}
+
+// NewProbe builds the content keys for d. ok is false when the device
+// cannot be addressed — no model, no profile, or a profile type the
+// fingerprint does not know (a custom Profile implementation could
+// carry state the fingerprint would miss, so it bypasses the memo
+// entirely rather than risk a false hit).
+func NewProbe(d Device) (*Probe, bool) {
+	if d.Model == nil || d.Profile == nil {
+		return nil, false
+	}
+	hfp, ok := harvestFingerprint(d.Config, d.Profile, d.Flex, d.Runner)
+	if !ok {
+		return nil, false
+	}
+	md := d.Model.ContentDigest()
+	id := quant.HashQ15(d.Input)
+	return &Probe{
+		dev:     d,
+		full:    Key{Tier: 1, Engine: d.Engine, Model: md, Input: id, Harvest: hfp},
+		computK: Key{Tier: 2, Engine: d.Engine, Model: md, Input: id},
+	}, true
+}
+
+// HitKind labels how a lookup resolved.
+type HitKind int
+
+// Lookup results: a full-outcome replay, a compute-side replay, or a
+// miss (simulate, then Fill).
+const (
+	Miss HitKind = iota
+	HitFull
+	HitCompute
+)
+
+// String returns the NDJSON row tag for the hit kind.
+func (k HitKind) String() string {
+	switch k {
+	case HitFull:
+		return "hit-full"
+	case HitCompute:
+		return "hit-compute"
+	}
+	return "miss"
+}
+
+// Stats is a snapshot of the memo's counters. The hit/miss split (and
+// the tags rows carry) is scheduling-dependent — racing workers may
+// both miss the same key before either fills it — but FullHits +
+// ComputeHits + Misses always equals the devices that consulted the
+// memo, and the rows themselves are bit-identical regardless.
+type Stats struct {
+	FullHits    uint64
+	ComputeHits uint64
+	Misses      uint64
+	Fills       uint64
+	Evictions   uint64
+	Entries     int
+	Capacity    int
+}
+
+// Hits returns the total replayed devices.
+func (s Stats) Hits() uint64 { return s.FullHits + s.ComputeHits }
+
+// Memo is the fleet-wide inference cache. Safe for concurrent use.
+type Memo struct {
+	lru *LRU[Key, any]
+
+	mu struct {
+		gosync.Mutex
+		fullHits, computeHits, misses, fills uint64
+	}
+}
+
+// New returns a memo bounded to capacity entries across both tiers
+// (<= 0 selects DefaultCapacity).
+func New(capacity int) *Memo {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Memo{lru: NewLRU[Key, any](capacity)}
+}
+
+// eligibilityMargin guards the Tier-2 budget comparison: the cached
+// energy total and the simulator's sequential per-op subtraction can
+// differ in the last ulps, so a run is only declared single-charge
+// when it clears the usable budget with one part in a thousand to
+// spare. The cost is a few borderline devices simulating for real;
+// the gain is that a served hit is bit-exact beyond any float-order
+// doubt.
+const eligibilityMargin = 0.999
+
+// Lookup consults the cache for p's device. HitFull replays the whole
+// cached row; HitCompute synthesizes a boot-0 completion from the
+// compute entry (the caller labels the profile); Miss means simulate
+// and Fill.
+func (m *Memo) Lookup(p *Probe) (Outcome, HitKind) {
+	if v, ok := m.lru.Get(p.full); ok {
+		m.count(&m.mu.fullHits)
+		return v.(Outcome), HitFull
+	}
+	if p.dev.VoltageOblivious {
+		if v, ok := m.lru.Get(p.computK); ok {
+			c := v.(compute)
+			if singleCharge(c, p.dev.Config) {
+				m.count(&m.mu.computeHits)
+				return Outcome{
+					Completed: true,
+					Predicted: c.Predicted,
+					ActiveSec: c.ActiveSec,
+					WallSec:   c.ActiveSec,
+					EnergymJ:  c.EnergymJ,
+					Diagnosis: string(intermittent.DiagCompleted),
+				}, HitCompute
+			}
+		}
+	}
+	m.count(&m.mu.misses)
+	return Outcome{}, Miss
+}
+
+// singleCharge reports whether the cached compute run provably fits
+// one charge of cfg's capacitor even with zero harvest income: total
+// compute energy plus the leakage burned over the active time stays
+// under the usable ½C(VOn²−VOff²) budget (with the float guard
+// margin). Harvested power is never negative, so the real run can
+// only end richer — it completes on boot 0 with exactly the cached
+// compute stream.
+func singleCharge(c compute, cfg harvest.Config) bool {
+	usable := 0.5 * cfg.CapacitanceF * (cfg.VOn*cfg.VOn - cfg.VOff*cfg.VOff)
+	need := c.EnergymJ*1e-3 + cfg.LeakageW*c.ActiveSec
+	return need <= eligibilityMargin*usable && !math.IsNaN(usable)
+}
+
+// Fill stores the simulated outcome of a missed probe: always under
+// the Tier-1 key, and additionally under the Tier-2 key when the run
+// is a voltage-oblivious boot-0 completion (the harvest-independent
+// compute profile of this engine/model/input). Racing fills keep the
+// first value.
+func (m *Memo) Fill(p *Probe, out Outcome) {
+	fills := uint64(0)
+	if m.lru.Add(p.full, out) {
+		fills++
+	}
+	if p.dev.VoltageOblivious && out.Completed && out.Boots == 0 && out.Err == nil {
+		if m.lru.Add(p.computK, compute{
+			Predicted: out.Predicted,
+			ActiveSec: out.ActiveSec,
+			EnergymJ:  out.EnergymJ,
+		}) {
+			fills++
+		}
+	}
+	if fills > 0 {
+		m.mu.Lock()
+		m.mu.fills += fills
+		m.mu.Unlock()
+	}
+}
+
+func (m *Memo) count(c *uint64) {
+	m.mu.Lock()
+	*c++
+	m.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (m *Memo) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		FullHits:    m.mu.fullHits,
+		ComputeHits: m.mu.computeHits,
+		Misses:      m.mu.misses,
+		Fills:       m.mu.fills,
+	}
+	m.mu.Unlock()
+	s.Evictions = m.lru.Evictions()
+	s.Entries = m.lru.Len()
+	s.Capacity = m.lru.Capacity()
+	return s
+}

@@ -29,6 +29,12 @@ type NDJSONRow struct {
 	Diag    string `json:"diag,omitempty"`
 	FFBoots uint64 `json:"ff_boots,omitempty"`
 	Err     string `json:"err,omitempty"`
+	// Memo tags how a memoized run obtained the row ("miss",
+	// "hit-full", "hit-compute"); emitted only when the sink's
+	// TagMemo is set, because the tag is scheduling-dependent and
+	// would break the byte-identical memo-on/memo-off guarantee of
+	// the default output.
+	Memo string `json:"memo,omitempty"`
 }
 
 // NDJSONSink writes one row per line to w. It does not buffer: wrap w
@@ -36,6 +42,11 @@ type NDJSONRow struct {
 // writing to a file.
 type NDJSONSink struct {
 	enc *json.Encoder
+
+	// TagMemo opts rows into the "memo" hit/miss field. Off by
+	// default so memoized and unmemoized runs emit byte-identical
+	// output (the tag's hit/miss split varies with scheduling).
+	TagMemo bool
 }
 
 // NewNDJSONSink returns a sink streaming rows to w.
@@ -61,6 +72,9 @@ func (s *NDJSONSink) Consume(i int, r Result) error {
 	}
 	if r.Err != nil {
 		row.Err = r.Err.Error()
+	}
+	if s.TagMemo {
+		row.Memo = r.Memo
 	}
 	return s.enc.Encode(row)
 }

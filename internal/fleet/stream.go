@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ehdl/internal/fleet/memo"
 )
 
 // Source lazily yields the fleet's scenarios. Len is the fleet size;
@@ -98,6 +100,13 @@ type StreamOptions struct {
 	Progress func(done, total int)
 	// ProgressEvery is the ticker interval (<= 0: 2s).
 	ProgressEvery time.Duration
+	// Memo, when set, dedups identical device runs: workers consult
+	// the content-addressed memo before simulating and replay cached
+	// outcomes (see internal/fleet/memo). Rows and report are
+	// bit-identical with or without it; its counters land in
+	// Report.Memo. The same memo may be shared across RunStream calls
+	// to carry warm state between sweeps.
+	Memo *memo.Memo
 }
 
 // reorder is the bounded window that restores scenario order for sink
@@ -219,6 +228,8 @@ func RunStream(src Source, opts StreamOptions) (Report, error) {
 						Diagnosis: SetupErrorDiagnosis,
 						Err:       fmt.Errorf("fleet: scenario %d: %w", i, err),
 					}
+				} else if opts.Memo != nil {
+					r = runMemoized(s, opts.Memo)
 				} else {
 					r = runOne(s)
 				}
@@ -257,6 +268,10 @@ dispatch:
 		agg.Merge(shard)
 	}
 	rep := agg.Report()
+	if opts.Memo != nil {
+		st := opts.Memo.Stats()
+		rep.Memo = &st
+	}
 	rep.HostSeconds = time.Since(start).Seconds()
 	if opts.Progress != nil {
 		opts.Progress(int(done.Load()), n)

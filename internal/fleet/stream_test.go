@@ -451,6 +451,11 @@ func TestNDJSONSchema(t *testing.T) {
 	if strings.Contains(lines[1], `"err":`) {
 		t.Error("healthy row carries an err key")
 	}
+	// The memo tag is strictly opt-in (NDJSONSink.TagMemo); an
+	// unmemoized stream must never emit the key.
+	if strings.Contains(buf.String(), `"memo"`) {
+		t.Error("memo key present without TagMemo")
+	}
 }
 
 // TestProfileLabel covers the breakdown keys.

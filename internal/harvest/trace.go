@@ -2,13 +2,16 @@ package harvest
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // TraceProfile replays a measured ambient-energy trace — solar,
@@ -31,6 +34,11 @@ type TraceProfile struct {
 	watts  []float64
 	cum    []float64 // cum[i] = ∫ power over [0, times[i]]
 	repeat bool
+
+	// fp caches Fingerprint (0 = not yet computed; a computed value
+	// of 0 is remapped to 1). The breakpoints are immutable after
+	// construction, so racing computations store the same value.
+	fp atomic.Uint64
 }
 
 // NewTraceProfile builds a validated trace profile from breakpoint
@@ -128,6 +136,40 @@ func (p *TraceProfile) Scale(f float64) (*TraceProfile, error) {
 		watts[i] = w * f
 	}
 	return NewTraceProfile(p.times, watts, p.repeat)
+}
+
+// Fingerprint returns a 64-bit FNV-1a content hash of the trace —
+// every breakpoint time and power plus the repeat flag — computed
+// once and cached. Fleet memoization uses it to content-address
+// devices sharing a waveform: two traces with equal fingerprints
+// drive bit-identical supply arithmetic (hash collisions across
+// distinct real-world traces in one fleet are vanishingly unlikely
+// and cost at most one reused row, the same exposure the 64-bit
+// fingerprint has for synthetic profiles).
+func (p *TraceProfile) Fingerprint() uint64 {
+	if fp := p.fp.Load(); fp != 0 {
+		return fp
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(p.times)))
+	for i := range p.times {
+		put(math.Float64bits(p.times[i]))
+		put(math.Float64bits(p.watts[i]))
+	}
+	if p.repeat {
+		put(1)
+	}
+	fp := h.Sum64()
+	if fp == 0 {
+		fp = 1 // keep 0 as the not-yet-computed sentinel
+	}
+	p.fp.Store(fp)
+	return fp
 }
 
 // Duration returns the trace length in seconds (one cycle when

@@ -22,6 +22,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"ehdl/internal/circulant"
 	"ehdl/internal/fixed"
@@ -85,6 +86,13 @@ type Model struct {
 	InShape    [3]int
 	NumClasses int
 	Layers     []QLayer
+
+	// digest caches ContentDigest (nil until first computed). Gob
+	// skips unexported fields, so serialization is unaffected; models
+	// are treated as immutable once deployed, so the cache never goes
+	// stale. Always handle Model by pointer — the atomic makes value
+	// copies a vet error.
+	digest atomic.Pointer[[32]byte]
 }
 
 // WeightBytes returns the FRAM footprint of weights and biases

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ehdl/internal/core"
 	"ehdl/internal/device"
@@ -489,6 +491,87 @@ func BenchmarkFleetStream(b *testing.B) {
 	}
 	b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "devices/s")
 	b.ReportMetric(100*rep.CompletionRate, "completion-%")
+}
+
+// BenchmarkFleetStreamCheckpoint isolates the cost of durable
+// checkpointing. Every iteration runs the *same* 8192-device fleet
+// into the *same* real NDJSON file sink twice — once without and once
+// with checkpointing at a quarter-sweep interval (three mid-sweep
+// checkpoints plus the final one; per device that is still ~50×
+// denser than DefaultCheckpointEvery) — and the overhead-% metric is
+// the paired time delta. Interleaving the two configurations inside
+// each iteration cancels the minutes-scale host noise that
+// back-to-back sub-benchmarks would each absorb differently; the PR 7
+// acceptance gate holds overhead-% under 5. Periodic checkpoint
+// writes ride an async writer that overlaps fsync latency with
+// simulation, so only the final synchronous checkpoint sits on the
+// critical path — a per-sweep constant, which is why the fleet here
+// is big enough (~1.3 s of simulation per sweep) to amortize it the
+// way a real sweep would; CI runs this benchmark in its own short
+// pass (10 iterations) for the same reason.
+func BenchmarkFleetStreamCheckpoint(b *testing.B) {
+	m, in := hostModel(b)
+	kinds := core.AllEngines()
+	const devices = 8192
+	src := fleet.FuncSource(devices, func(i int) (fleet.Scenario, error) {
+		setup := core.PaperHarvestSetup()
+		setup.Config.CapacitanceF = 10e-6
+		setup.Profile = harvest.SquareProfile{
+			PeakWatts: 4e-3 + 1e-4*float64(i%10),
+			Period:    0.1,
+			Duty:      0.5,
+		}
+		return fleet.Scenario{
+			Name:   fmt.Sprintf("dev%04d", i),
+			Engine: kinds[i%len(kinds)],
+			Model:  m,
+			Input:  in,
+			Setup:  setup,
+		}, nil
+	})
+	dir := b.TempDir()
+	rowsPath := filepath.Join(dir, "rows.ndjson")
+	spec := &fleet.CheckpointSpec{
+		Path:        filepath.Join(dir, "ck.ehdl"),
+		Every:       devices / 4,
+		Fingerprint: "bench",
+	}
+	sweep := func(spec *fleet.CheckpointSpec) fleet.Report {
+		sink, err := fleet.NewNDJSONFile(rowsPath, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := fleet.RunStream(src, fleet.StreamOptions{
+			ExactPercentiles: 64,
+			Sink:             sink,
+			Checkpoint:       spec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	var tOff, tOn time.Duration
+	var rep fleet.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		sweep(nil)
+		tOff += time.Since(t0)
+		t1 := time.Now()
+		rep = sweep(spec)
+		tOn += time.Since(t1)
+	}
+	if rep.Devices != devices || rep.PercentilesExact {
+		b.Fatalf("unexpected report: %d devices, exact=%v", rep.Devices, rep.PercentilesExact)
+	}
+	total := float64(devices) * float64(b.N)
+	b.ReportMetric(total/tOff.Seconds(), "base-devices/s")
+	b.ReportMetric(total/tOn.Seconds(), "ckpt-devices/s")
+	b.ReportMetric(100*(tOn.Seconds()-tOff.Seconds())/tOff.Seconds(), "overhead-%")
 }
 
 // BenchmarkFleetMemo measures the fleet inference memo (PR 6): a

@@ -16,6 +16,9 @@
 //	ehfleet -scenarios fleet.json [-n 0] [-workers 0] [-seed 1]
 //	        [-out rows.ndjson] [-progress] [-memo] [-memo-cap 65536]
 //	        [-memo-tag]
+//	ehfleet ... -checkpoint ck.ehdl [-checkpoint-every 100000] [-resume]
+//	ehfleet ... -shard 2/8 -out shard2/ [-resume]
+//	ehfleet -merge out/ shard0/ shard1/ shard2/ ...
 //
 // The first form builds a homogeneous fleet from flags: -engine
 // accepts one runtime, a comma-separated list cycled across the
@@ -31,8 +34,20 @@
 //
 // Scenarios are generated lazily and aggregated online, so -n scales
 // to millions of devices in constant memory; -out streams one NDJSON
-// row per device, in scenario order, and -progress reports throughput
-// on stderr while the fleet runs.
+// row per device, in scenario order, and -progress reports
+// throughput and ETA on stderr while the fleet runs.
+//
+// -checkpoint makes the run resumable: the commit frontier
+// (aggregator snapshot + delivered NDJSON row index) is written
+// atomically to the file every -checkpoint-every devices, and
+// -resume continues an interrupted run from it — the resumed output
+// is byte-identical to an uninterrupted run's. -shard i/N restricts
+// the run to its device range and turns -out into a shard artifact
+// directory (rows.ndjson + shard.ehdl, checkpointed and resumable
+// the same way); -merge folds completed shard directories back into
+// the single-process report and NDJSON, byte-identically. Mismatched
+// checkpoints and shards (different scenario file, seed, size or
+// shard split) are rejected.
 //
 // -memo turns on fleet-wide inference memoization (see the README's
 // "Fleet memoization" section): devices whose content-addressed run —
@@ -47,10 +62,14 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -87,15 +106,59 @@ func main() {
 	leak := flag.Float64("leak", 0, "parasitic leakage in watts")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "dataset and jitter seed")
-	out := flag.String("out", "", "stream per-device rows to this NDJSON file")
+	out := flag.String("out", "", "stream per-device rows to this NDJSON file (with -shard: the shard artifact directory)")
 	progress := flag.Bool("progress", false, "report streaming progress on stderr")
 	memoOn := flag.Bool("memo", false, "memoize identical device runs (bit-identical output, less host time)")
 	memoCap := flag.Int("memo-cap", 0, "memo LRU capacity in entries (0 = default)")
 	memoTag := flag.Bool("memo-tag", false, "add each row's memo hit/miss tag to the NDJSON output")
+	checkpoint := flag.String("checkpoint", "", "checkpoint the run to this file so it can -resume")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "devices between checkpoint writes (0 = default)")
+	resume := flag.Bool("resume", false, "resume from the checkpoint instead of starting over")
+	shardSpec := flag.String("shard", "", "simulate one device range of the fleet: \"i/N\" (shard i of N); -out becomes a shard directory")
+	mergeOut := flag.String("merge", "", "merge completed shard directories (positional args) into this output directory")
 	flag.Parse()
 
+	if *mergeOut != "" {
+		if flag.NArg() == 0 {
+			log.Fatal("-merge needs the shard directories as arguments: ehfleet -merge out/ shard0/ shard1/ ...")
+		}
+		if err := runMerge(*mergeOut, flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q (only -merge takes positional arguments)", flag.Args())
+	}
+
+	var part fleet.Partition
+	if *shardSpec != "" {
+		var err error
+		if part, err = parseShard(*shardSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ckptPath, rowsPath := *checkpoint, *out
+	sharding := *shardSpec != ""
+	if sharding {
+		if *out == "" {
+			log.Fatal("-shard needs -out DIR (the shard artifact directory)")
+		}
+		if ckptPath != "" {
+			log.Fatal("-checkpoint has no effect with -shard (the shard directory holds its own meta)")
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		rowsPath = filepath.Join(*out, fleet.ShardRowsFile)
+		ckptPath = filepath.Join(*out, fleet.ShardMetaFile)
+	}
+	if *resume && ckptPath == "" {
+		log.Fatal("-resume needs -checkpoint FILE or -shard i/N")
+	}
+
 	var src fleet.Source
-	var header string
+	var header, fingerprint string
 	if *scenarios != "" {
 		// The fleet shape comes entirely from the file (-n resizes
 		// it); an explicitly set shape flag would be silently
@@ -143,9 +206,14 @@ func main() {
 		}
 		src = fileSrc
 		header = fmt.Sprintf("scenario file: %s   devices: %d", *scenarios, src.Len())
+		if ckptPath != "" {
+			if fingerprint, err = cli.ScenarioFingerprint(*scenarios, *seed, src.Len()); err != nil {
+				log.Fatal(err)
+			}
+		}
 	} else {
 		var err error
-		if src, err = flagSource(flagFleet{
+		if src, fingerprint, err = flagSource(flagFleet{
 			model:       *modelPath,
 			engines:     *engines,
 			profile:     *profile,
@@ -166,32 +234,55 @@ func main() {
 		header = fmt.Sprintf("model: %s   profile: %s %.1f mW ±%.0f%%   cap: %.0f uF   devices: %d",
 			*modelPath, *profile, *power*1e3, *jitter*100, *capF*1e6, src.Len())
 	}
+	pstart, pend := part.Range(src.Len())
+	if sharding {
+		header += fmt.Sprintf("   shard: %d/%d [%d, %d)", part.Index, part.Of, pstart, pend)
+	}
 
-	opts := fleet.StreamOptions{Workers: *workers}
+	opts := fleet.StreamOptions{Workers: *workers, Partition: part}
 	if *memoOn {
 		opts.Memo = memo.New(*memoCap)
 	}
+	if ckptPath != "" {
+		opts.Checkpoint = &fleet.CheckpointSpec{
+			Path:        ckptPath,
+			Every:       *checkpointEvery,
+			Fingerprint: fingerprint,
+		}
+	}
+	var st *fleet.CheckpointState
+	if *resume {
+		var err error
+		st, err = fleet.LoadCheckpoint(ckptPath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "ehfleet: no checkpoint at %s yet, starting fresh\n", ckptPath)
+			st = nil
+		case err != nil:
+			log.Fatal(err)
+		}
+		opts.Resume = st
+	}
 
 	var sinks []fleet.Sink
-	var flush func() error
-	if *out != "" {
-		f, err := os.Create(*out)
+	var rowsSink *fleet.NDJSONFile
+	if rowsPath != "" {
+		var err error
+		if st != nil {
+			rowsSink, err = fleet.ResumeNDJSONFile(rowsPath, st.Rows-st.Start, st.Rows)
+		} else {
+			rowsSink, err = fleet.NewNDJSONFile(rowsPath, pstart)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		w := bufio.NewWriterSize(f, 1<<20)
-		sink := fleet.NewNDJSONSink(w)
-		sink.TagMemo = *memoTag
-		sinks = append(sinks, sink)
-		flush = func() error {
-			if err := w.Flush(); err != nil {
-				return err
-			}
-			return f.Close()
-		}
+		rowsSink.TagMemo = *memoTag
+		sinks = append(sinks, rowsSink)
 	}
 	var collect *fleet.Collector
-	if src.Len() <= rowTableLimit {
+	if src.Len() <= rowTableLimit && !sharding && st == nil {
+		// The terminal row table only makes sense for a whole fleet
+		// streamed from row 0; sharded and resumed runs skip it.
 		collect = &fleet.Collector{}
 		sinks = append(sinks, collect)
 	}
@@ -201,11 +292,21 @@ func main() {
 
 	if *progress {
 		start := time.Now()
+		resumed := 0
+		if st != nil {
+			resumed = st.Rows - st.Start
+		}
 		opts.Progress = func(done, total int) {
 			elapsed := time.Since(start).Seconds()
-			rate := float64(done) / elapsed
-			fmt.Fprintf(os.Stderr, "ehfleet: %d/%d devices (%.0f/s, %.0fs elapsed)\n",
-				done, total, rate, elapsed)
+			rate := float64(done-resumed) / elapsed
+			eta := "n/a"
+			if done >= total {
+				eta = "0s"
+			} else if rate > 0 {
+				eta = fmt.Sprintf("%.0fs", float64(total-done)/rate)
+			}
+			fmt.Fprintf(os.Stderr, "ehfleet: %d/%d devices (%.0f/s, ETA %s, %.0fs elapsed)\n",
+				done, total, rate, eta, elapsed)
 		}
 	}
 
@@ -213,9 +314,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if flush != nil {
-		if err := flush(); err != nil {
-			log.Fatalf("writing %s: %v", *out, err)
+	if rowsSink != nil {
+		if err := rowsSink.Close(); err != nil {
+			log.Fatalf("writing %s: %v", rowsPath, err)
 		}
 	}
 	if collect != nil {
@@ -223,6 +324,55 @@ func main() {
 	}
 	fmt.Println(header)
 	fmt.Print(fleet.RenderReport(rep))
+}
+
+// runMerge folds completed shard directories into outDir: the
+// whole-fleet NDJSON row file plus the aggregate report on stdout,
+// byte-identical to a single-process run over the same fleet.
+func runMerge(outDir string, dirs []string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	rowsPath := filepath.Join(outDir, fleet.ShardRowsFile)
+	f, err := os.Create(rowsPath)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	rep, err := fleet.MergeShards(w, dirs)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", rowsPath, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", rowsPath, err)
+	}
+	fmt.Printf("merged: %d shards   devices: %d   rows: %s\n", len(dirs), rep.Devices, rowsPath)
+	fmt.Print(fleet.RenderReport(rep))
+	return nil
+}
+
+// parseShard parses "i/N" into a partition.
+func parseShard(s string) (fleet.Partition, error) {
+	var p fleet.Partition
+	a, b, ok := strings.Cut(s, "/")
+	if ok {
+		var err1, err2 error
+		p.Index, err1 = strconv.Atoi(a)
+		p.Of, err2 = strconv.Atoi(b)
+		ok = err1 == nil && err2 == nil
+	}
+	if !ok {
+		return p, fmt.Errorf("-shard must be i/N (e.g. 2/8), got %q", s)
+	}
+	if p.Of < 1 || p.Index < 0 || p.Index >= p.Of {
+		return p, fmt.Errorf("-shard %s out of range (want 0 <= i < N)", s)
+	}
+	return p, nil
 }
 
 // flagFleet is the parsed flag-mode fleet shape.
@@ -245,27 +395,29 @@ type flagFleet struct {
 
 // flagSource builds the homogeneous flag-mode fleet as a lazy source:
 // the model, dataset and converted inputs are shared, and each
-// device's profile is built on demand from its index alone.
-func flagSource(f flagFleet) (fleet.Source, error) {
+// device's profile is built on demand from its index alone. The
+// returned fingerprint is the run identity (model content + every
+// shape flag) for checkpoints and shard artifacts.
+func flagSource(f flagFleet) (fleet.Source, string, error) {
 	if f.model == "" {
-		return nil, fmt.Errorf("-model or -scenarios is required")
+		return nil, "", fmt.Errorf("-model or -scenarios is required")
 	}
 	if f.jitter < 0 || f.jitter >= 1 {
-		return nil, fmt.Errorf("-jitter must be in [0, 1), got %g", f.jitter)
+		return nil, "", fmt.Errorf("-jitter must be in [0, 1), got %g", f.jitter)
 	}
 	if f.jitterSteps < 0 {
-		return nil, fmt.Errorf("-jitter-steps must be >= 0, got %d", f.jitterSteps)
+		return nil, "", fmt.Errorf("-jitter-steps must be >= 0, got %d", f.jitterSteps)
 	}
 	if f.n < 1 {
-		return nil, fmt.Errorf("-n must be >= 1, got %d", f.n)
+		return nil, "", fmt.Errorf("-n must be >= 1, got %d", f.n)
 	}
 	m, err := cli.LoadModel(f.model)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	set, err := cli.DatasetFor(m, f.seed)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	inputs := make([][]fixed.Q15, len(set.Test))
 	for i := range set.Test {
@@ -274,26 +426,38 @@ func flagSource(f flagFleet) (fleet.Source, error) {
 
 	kinds, err := parseEngines(f.engines)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var baseTrace *harvest.TraceProfile
 	if f.profile == "trace" {
 		if f.trace == "" {
-			return nil, fmt.Errorf("-profile trace requires -trace FILE")
+			return nil, "", fmt.Errorf("-profile trace requires -trace FILE")
 		}
 		if baseTrace, err = harvest.LoadTraceFile(f.trace, f.traceRepeat); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
 	// Validate the waveform once at the unjittered scale, so a bad
 	// flag fails before the fleet starts.
 	if _, err := cli.BuildProfile(f.profile, f.power, f.period, f.duty, baseTrace, 1); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 
 	cfg := harvest.PaperConfig()
 	cfg.CapacitanceF = f.capF
 	cfg.LeakageW = f.leak
+
+	digest := m.ContentDigest()
+	fingerprint := cli.FleetFingerprint(
+		"flags",
+		fmt.Sprintf("%x", digest),
+		f.engines, f.profile, f.trace,
+		fmt.Sprintf("trace-repeat=%t", f.traceRepeat),
+		fmt.Sprintf("power=%g period=%g duty=%g", f.power, f.period, f.duty),
+		fmt.Sprintf("jitter=%g steps=%d", f.jitter, f.jitterSteps),
+		fmt.Sprintf("cap=%g leak=%g", f.capF, f.leak),
+		fmt.Sprintf("n=%d seed=%d", f.n, f.seed),
+	)
 
 	return fleet.FuncSource(f.n, func(i int) (fleet.Scenario, error) {
 		prof, err := cli.BuildProfile(f.profile, f.power, f.period, f.duty, baseTrace,
@@ -308,7 +472,7 @@ func flagSource(f flagFleet) (fleet.Source, error) {
 			Input:  inputs[i%len(inputs)],
 			Setup:  core.HarvestSetup{Config: cfg, Profile: prof},
 		}, nil
-	}), nil
+	}), fingerprint, nil
 }
 
 // parseEngines expands the -engine flag into a runtime cycle.

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetFingerprint: deterministic, and the length prefixing means
+// no two distinct part lists collide by concatenation.
+func TestFleetFingerprint(t *testing.T) {
+	if FleetFingerprint("a", "b") != FleetFingerprint("a", "b") {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	if FleetFingerprint("ab", "c") == FleetFingerprint("a", "bc") {
+		t.Fatal("part boundaries do not affect the fingerprint")
+	}
+	if FleetFingerprint("a") == FleetFingerprint("a", "") {
+		t.Fatal("trailing empty part does not affect the fingerprint")
+	}
+	if FleetFingerprint("x") == FleetFingerprint("y") {
+		t.Fatal("distinct parts collide")
+	}
+}
+
+// TestScenarioFingerprint: identity covers the file bytes, the seed
+// and the resolved fleet size — change any one and resume/merge must
+// see a different run.
+func TestScenarioFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(path, []byte(`{"devices":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ScenarioFingerprint(path, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := ScenarioFingerprint(path, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != same {
+		t.Fatal("same (file, seed, n) produced different fingerprints")
+	}
+	if fp, _ := ScenarioFingerprint(path, 2, 100); fp == base {
+		t.Fatal("seed not covered")
+	}
+	if fp, _ := ScenarioFingerprint(path, 1, 101); fp == base {
+		t.Fatal("fleet size not covered")
+	}
+	if err := os.WriteFile(path, []byte(`{"devices":[] }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fp, _ := ScenarioFingerprint(path, 1, 100); fp == base {
+		t.Fatal("file bytes not covered")
+	}
+	if _, err := ScenarioFingerprint(filepath.Join(dir, "missing.json"), 1, 100); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

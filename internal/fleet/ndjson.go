@@ -5,10 +5,25 @@ package fleet
 // (stream it to disk, split it across hosts, feed it to jq). The
 // schema is pinned by TestNDJSONSchema and documented in the README's
 // "Fleet at scale" section.
+//
+// Two sinks live here. NDJSONSink streams to any io.Writer.
+// NDJSONFile owns a file: it buffers, implements Flusher (buffer
+// flush + fsync, which checkpointing calls before every write), and
+// can reopen an interrupted run's file truncated back to the last
+// checkpointed row boundary (ResumeNDJSONFile) so a resumed run
+// appends exactly where the checkpoint says the frontier is. Both
+// enforce the Sink ordering contract: a row that is not exactly the
+// next expected index is an error, so an out-of-order regression
+// aborts the run instead of silently corrupting the output.
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"os"
+	"sync"
 )
 
 // NDJSONRow is the wire form of one Result row.
@@ -37,25 +52,8 @@ type NDJSONRow struct {
 	Memo string `json:"memo,omitempty"`
 }
 
-// NDJSONSink writes one row per line to w. It does not buffer: wrap w
-// in a bufio.Writer (and flush it after RunStream returns) when
-// writing to a file.
-type NDJSONSink struct {
-	enc *json.Encoder
-
-	// TagMemo opts rows into the "memo" hit/miss field. Off by
-	// default so memoized and unmemoized runs emit byte-identical
-	// output (the tag's hit/miss split varies with scheduling).
-	TagMemo bool
-}
-
-// NewNDJSONSink returns a sink streaming rows to w.
-func NewNDJSONSink(w io.Writer) *NDJSONSink {
-	return &NDJSONSink{enc: json.NewEncoder(w)}
-}
-
-// Consume implements Sink.
-func (s *NDJSONSink) Consume(i int, r Result) error {
+// makeRow builds the wire form of one result.
+func makeRow(i int, r Result, tagMemo bool) NDJSONRow {
 	row := NDJSONRow{
 		Index:     i,
 		Device:    r.Name,
@@ -73,8 +71,153 @@ func (s *NDJSONSink) Consume(i int, r Result) error {
 	if r.Err != nil {
 		row.Err = r.Err.Error()
 	}
-	if s.TagMemo {
+	if tagMemo {
 		row.Memo = r.Memo
 	}
-	return s.enc.Encode(row)
+	return row
+}
+
+// NDJSONSink writes one row per line to w. It does not buffer: wrap w
+// in a bufio.Writer (and flush it after RunStream returns) when
+// writing to a file — or use NDJSONFile, which buffers, fsyncs on
+// Flush, and supports checkpoint resume.
+type NDJSONSink struct {
+	enc  *json.Encoder
+	next int
+
+	// TagMemo opts rows into the "memo" hit/miss field. Off by
+	// default so memoized and unmemoized runs emit byte-identical
+	// output (the tag's hit/miss split varies with scheduling).
+	TagMemo bool
+}
+
+// NewNDJSONSink returns a sink streaming rows to w, expecting rows
+// from index 0.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{enc: json.NewEncoder(w)}
+}
+
+// NewNDJSONSinkAt returns a sink streaming rows to w, expecting the
+// first row at global index start (a partitioned or resumed run).
+func NewNDJSONSinkAt(w io.Writer, start int) *NDJSONSink {
+	return &NDJSONSink{enc: json.NewEncoder(w), next: start}
+}
+
+// Consume implements Sink.
+func (s *NDJSONSink) Consume(i int, r Result) error {
+	if i != s.next {
+		return fmt.Errorf("fleet: NDJSON sink got row %d, want %d", i, s.next)
+	}
+	s.next++
+	return s.enc.Encode(makeRow(i, r, s.TagMemo))
+}
+
+// ErrResumeRows: the NDJSON file on disk holds fewer rows than the
+// checkpoint's frontier — the file and checkpoint are not from the
+// same run (or the file was truncated behind the checkpoint's back).
+var ErrResumeRows = errors.New("NDJSON file is behind the checkpoint")
+
+// NDJSONFile is a file-owning NDJSON sink for checkpointable runs:
+// buffered writes, Flush = buffer flush + fsync (called by RunStream
+// before every checkpoint write), ordering-checked like NDJSONSink,
+// and safe for a concurrent Flush during delivery (it locks
+// internally). Close flushes and closes the file.
+type NDJSONFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	next int
+
+	// TagMemo is NDJSONSink.TagMemo; leave it off for output that
+	// must be byte-identical across memo on/off, shards and resumes.
+	TagMemo bool
+}
+
+const ndjsonBufSize = 1 << 20
+
+// NewNDJSONFile creates (truncating) the NDJSON file at path,
+// expecting the first row at global index start.
+func NewNDJSONFile(path string, start int) (*NDJSONFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return newNDJSONFile(f, start), nil
+}
+
+// ResumeNDJSONFile reopens the NDJSON file of an interrupted run and
+// truncates it back to exactly keep rows — the checkpoint's frontier.
+// (The file may hold more: rows flushed after the last checkpoint
+// write are simply discarded and re-simulated.) The returned sink
+// expects the first row at global index next. A file holding fewer
+// than keep complete rows fails with ErrResumeRows.
+func ResumeNDJSONFile(path string, keep, next int) (*NDJSONFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	br := bufio.NewReaderSize(f, ndjsonBufSize)
+	var off int64
+	for row := 0; row < keep; row++ {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w: %d complete rows on disk, checkpoint frontier needs %d",
+				path, ErrResumeRows, row, keep)
+		}
+		off += int64(len(line))
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: truncate %s to row boundary: %w", path, err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return newNDJSONFile(f, next), nil
+}
+
+func newNDJSONFile(f *os.File, start int) *NDJSONFile {
+	bw := bufio.NewWriterSize(f, ndjsonBufSize)
+	return &NDJSONFile{f: f, bw: bw, enc: json.NewEncoder(bw), next: start}
+}
+
+// Consume implements Sink.
+func (s *NDJSONFile) Consume(i int, r Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i != s.next {
+		return fmt.Errorf("fleet: NDJSON sink got row %d, want %d", i, s.next)
+	}
+	s.next++
+	return s.enc.Encode(makeRow(i, r, s.TagMemo))
+}
+
+// Flush implements Flusher: drains the write buffer and fsyncs, so
+// every row delivered up to the call survives a SIGKILL. The fsync
+// runs outside the sink lock — concurrent Consume calls keep
+// streaming while the disk syncs; their rows are past the checkpoint
+// frontier anyway, and whether the sync happens to cover them is
+// irrelevant (resume truncates back to the frontier).
+func (s *NDJSONFile) Flush() error {
+	s.mu.Lock()
+	err := s.bw.Flush()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (s *NDJSONFile) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
 }

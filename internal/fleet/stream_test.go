@@ -115,7 +115,7 @@ func TestRunStreamSinkOrdered(t *testing.T) {
 // buffering the whole fleet behind it.
 func TestReorderWindowBounded(t *testing.T) {
 	sink := &orderSink{t: t}
-	w := newReorder(sink, 2) // window = 8
+	w := newReorder(sink, 2, 0) // window = 8
 	const total = 40
 
 	var wg sync.WaitGroup

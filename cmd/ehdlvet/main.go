@@ -1,0 +1,121 @@
+// Command ehdlvet is the repo's domain-specific static-analysis
+// gate: it runs the internal/analysis passes (detmap, noclock,
+// hotalloc, errwrap) over the module and exits nonzero on any
+// finding. CI runs it as a required step; run it locally with
+//
+//	go run ./cmd/ehdlvet ./...
+//
+// Flags: -json emits machine-readable diagnostics; -<analyzer>=false
+// disables one pass. See docs/ANALYZERS.md for what each pass
+// enforces and how to suppress a finding with an //ehdl: directive.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ehdl/internal/analysis"
+	"ehdl/internal/analysis/detmap"
+	"ehdl/internal/analysis/errwrap"
+	"ehdl/internal/analysis/hotalloc"
+	"ehdl/internal/analysis/load"
+	"ehdl/internal/analysis/noclock"
+)
+
+var analyzers = []*analysis.Analyzer{
+	detmap.Analyzer,
+	noclock.Analyzer,
+	hotalloc.Analyzer,
+	errwrap.Analyzer,
+}
+
+// finding is one diagnostic, resolved to a position.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" pass: "+a.Doc)
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Targets(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehdlvet:", err)
+		os.Exit(2)
+	}
+
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !*enabled[a.Name] || !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			a := a
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					Analyzer: a.Name,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Message:  d.Message,
+				})
+			})
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "ehdlvet: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "ehdlvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "ehdlvet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

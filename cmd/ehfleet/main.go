@@ -71,7 +71,6 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
-	"time"
 
 	"ehdl/internal/cli"
 	"ehdl/internal/core"
@@ -291,23 +290,11 @@ func main() {
 	}
 
 	if *progress {
-		start := time.Now()
 		resumed := 0
 		if st != nil {
 			resumed = st.Rows - st.Start
 		}
-		opts.Progress = func(done, total int) {
-			elapsed := time.Since(start).Seconds()
-			rate := float64(done-resumed) / elapsed
-			eta := "n/a"
-			if done >= total {
-				eta = "0s"
-			} else if rate > 0 {
-				eta = fmt.Sprintf("%.0fs", float64(total-done)/rate)
-			}
-			fmt.Fprintf(os.Stderr, "ehfleet: %d/%d devices (%.0f/s, ETA %s, %.0fs elapsed)\n",
-				done, total, rate, eta, elapsed)
-		}
+		opts.Progress = cli.ProgressPrinter(os.Stderr, fleet.SystemClock, resumed)
 	}
 
 	rep, err := fleet.RunStream(src, opts)

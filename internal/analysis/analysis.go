@@ -1,0 +1,129 @@
+// Package analysis is the in-repo static-analysis framework behind
+// cmd/ehdlvet: a deliberately small, API-compatible subset of
+// golang.org/x/tools/go/analysis (which this offline build cannot
+// depend on), built entirely on the standard library's go/ast and
+// go/types plus a `go list`-driven package loader (see the load
+// subpackage).
+//
+// An Analyzer is one invariant checker — a named pass that receives a
+// fully type-checked package and reports Diagnostics. The repo ships
+// four (detmap, noclock, hotalloc, errwrap), each defending one of
+// the bit-identity contracts the fleet pipeline is built on; see
+// docs/ANALYZERS.md for what they enforce and how to suppress a
+// finding with an //ehdl: directive.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and enables the
+	// -<name>=false multichecker flag.
+	Name string
+	// Doc is the one-line description shown by ehdlvet's usage text.
+	Doc string
+	// Packages restricts where the multichecker applies the pass: a
+	// list of import paths, exact ("ehdl/internal/fleet") or subtree
+	// ("ehdl/internal/..."). Empty means every package. The restriction
+	// is advisory routing, not part of the pass itself — analysistest
+	// runs the pass on any package it is handed.
+	Packages []string
+	// Exclude removes import paths (same syntax) from Packages' match.
+	Exclude []string
+	// Run executes the pass over one package.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the multichecker should run the analyzer
+// on the package with the given import path.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	for _, pat := range a.Exclude {
+		if matchPattern(pat, importPath) {
+			return false
+		}
+	}
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, pat := range a.Packages {
+		if matchPattern(pat, importPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPattern matches an import path against an exact path or a
+// "prefix/..." subtree pattern ("prefix/..." also matches "prefix").
+func matchPattern(pat, path string) bool {
+	const subtree = "/..."
+	if p, ok := cutSuffix(pat, subtree); ok {
+		return path == p || (len(path) > len(p) && path[:len(p)] == p && path[len(p)] == '/')
+	}
+	return pat == path
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives every diagnostic (set by the runner).
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf formats and emits a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewPass assembles a Pass whose diagnostics are appended via sink —
+// the entry point shared by the ehdlvet runner and analysistest.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, report: sink}
+}
+
+// WalkStack traverses the AST depth-first like ast.Inspect, but hands
+// the visitor the stack of enclosing nodes (outermost first, not
+// including n itself). Returning false skips n's subtree. Several
+// passes need the enclosing statements of a finding — for directive
+// coverage and for enclosing-function lookups — which ast.Inspect
+// cannot provide.
+func WalkStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := visit(n, stack)
+		if ok {
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}

@@ -1,0 +1,116 @@
+// Package analysistest runs an analyzer over checked-in testdata
+// packages and checks its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which the
+// offline build cannot import).
+//
+// Layout: <analyzer pkg>/testdata/src/<pkg>/*.go. A line expecting a
+// diagnostic carries a trailing comment of the form
+//
+//	// want `regexp`
+//
+// (backquoted) or // want "regexp". Every reported diagnostic must
+// match a want on its line, and every want must be matched, or the
+// test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ehdl/internal/analysis"
+	"ehdl/internal/analysis/load"
+)
+
+// wantRe extracts the expectation pattern from a comment.
+var wantRe = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named package, applies the
+// analyzer, and enforces the want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join("testdata", "src", pkg)
+		p, err := load.Dir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		wants := collectWants(t, p)
+		var diags []analysis.Diagnostic
+		pass := analysis.NewPass(a, p.Fset, p.Files, p.Pkg, p.Info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer %s: %v", pkg, a.Name, err)
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			pos := p.Fset.Position(d.Pos)
+			if !match(wants, pos, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", posString(pos), d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants scans every file's comments for want expectations.
+func collectWants(t *testing.T, p *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Fatalf("%s: malformed want comment: %s",
+							posString(p.Fset.Position(c.Pos())), c.Text)
+					}
+					continue
+				}
+				pat := m[2]
+				if pat == "" {
+					pat = m[3]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v",
+						posString(p.Fset.Position(c.Pos())), pat, err)
+				}
+				pos := p.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func match(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posString(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+}

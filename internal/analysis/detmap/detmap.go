@@ -1,0 +1,355 @@
+// Package detmap flags `for … range` over a map in determinism-
+// critical packages: Go randomizes map iteration order, so any
+// order-sensitive loop body silently breaks the repo's byte-identity
+// contracts (NDJSON row streams, report rendering, shard merges).
+//
+// A map range is accepted without annotation in exactly two shapes:
+//
+//  1. Order-insensitive body: every statement either writes
+//     element k of another map (a per-key fold), accumulates into an
+//     integer with a commutative operator (+= -= *= |= &= ^= &^=,
+//     ++/--), declares call-free locals, deletes map keys, or wraps
+//     such statements in call-free ifs. Float accumulation is NOT
+//     order-insensitive (rounding) and is flagged.
+//
+//  2. Collect-then-sort: the body only appends keys/values to a
+//     slice, and that slice is passed to a sort.* or slices.Sort*
+//     call later in the same function.
+//
+// Anything else needs `//ehdl:unordered <justification>` on the range
+// line (or the line above) — with a non-empty justification.
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ehdl/internal/analysis"
+	"ehdl/internal/analysis/directive"
+)
+
+// Analyzer is the detmap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flags map iteration whose order can leak into results in determinism-critical packages",
+	Packages: []string{
+		"ehdl/internal/fleet",
+		"ehdl/internal/fleet/memo",
+		"ehdl/internal/cli",
+		"ehdl/internal/experiments",
+		"ehdl/internal/quant",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		idx := directive.Index(pass.Fset, file)
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if d, ok := idx.Covering(pass.Fset, rs, stack, "unordered"); ok {
+				if d.Arg == "" {
+					pass.Reportf(d.Pos, "//ehdl:unordered needs a justification: say why iteration order cannot affect results")
+				}
+				return true
+			}
+			c := &checker{pass: pass, keyObj: keyObject(pass, rs)}
+			if c.bodyOK(rs.Body) {
+				if len(c.collected) == 0 {
+					return true // order-insensitive fold
+				}
+				body := enclosingFuncBody(stack)
+				for _, obj := range c.collected {
+					if !sortedAfter(pass, body, rs.End(), obj) {
+						pass.Reportf(rs.For, "map keys collected into %q are never sorted in this function; sort before ordered use, or annotate //ehdl:unordered <why>", obj.Name())
+					}
+				}
+				return true
+			}
+			pass.Reportf(rs.For, "nondeterministic map iteration: the loop body is order-sensitive; iterate sorted keys, or annotate //ehdl:unordered <why>")
+			return true
+		})
+	}
+	return nil
+}
+
+// keyObject resolves the loop's key variable, if it declares one.
+func keyObject(pass *analysis.Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if rs.Tok == token.DEFINE {
+		return pass.TypesInfo.Defs[id]
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// checker validates that a range body is order-insensitive, recording
+// any collector slices (`s = append(s, …)`) it encounters for the
+// sorted-after check.
+type checker struct {
+	pass      *analysis.Pass
+	keyObj    types.Object
+	collected []types.Object
+}
+
+func (c *checker) bodyOK(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.IncDecStmt:
+		return isInteger(c.pass.TypesInfo.TypeOf(s.X))
+	case *ast.ExprStmt:
+		// Only builtin delete: removing keys is order-insensitive.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return c.isBuiltin(call.Fun, "delete") && c.callFreeAll(call.Args)
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		if !c.callFree(s.Cond) {
+			return false
+		}
+		if !c.bodyOK(s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				return c.bodyOK(blk)
+			}
+			return c.stmtOK(s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.bodyOK(s)
+	case *ast.BranchStmt:
+		return (s.Tok == token.CONTINUE || s.Tok == token.BREAK) && s.Label == nil
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			if !c.callFreeAll(vs.Values) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *checker) assignOK(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		// Call-free local copies (`g := g`) cannot observe order.
+		return c.callFreeAll(s.Rhs)
+	case token.ASSIGN:
+		// Collector append: s = append(s, …).
+		if obj := c.collectorAppend(s); obj != nil {
+			c.collected = append(c.collected, obj)
+			return true
+		}
+		// Per-key fold: every target is m[k] for the loop key k (or _),
+		// written from call-free expressions. Each iteration touches a
+		// distinct element, so order cannot matter.
+		if !c.callFreeAll(s.Rhs) {
+			return false
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			ix, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			id, ok := ix.Index.(*ast.Ident)
+			if !ok || c.keyObj == nil || c.pass.TypesInfo.Uses[id] != c.keyObj {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		// Commutative-fold accumulation is order-insensitive for
+		// integers (wrapping arithmetic); float rounding is not.
+		if len(s.Lhs) != 1 {
+			return false
+		}
+		return isInteger(c.pass.TypesInfo.TypeOf(s.Lhs[0])) && c.callFreeAll(s.Rhs)
+	default:
+		return false
+	}
+}
+
+// collectorAppend matches `x = append(x, …)` and returns x's object.
+func (c *checker) collectorAppend(s *ast.AssignStmt) types.Object {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !c.isBuiltin(call.Fun, "append") || len(call.Args) == 0 {
+		return nil
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return nil
+	}
+	obj := c.pass.TypesInfo.Uses[lhs]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[lhs]
+	}
+	if obj == nil || c.pass.TypesInfo.Uses[first] != obj {
+		return nil
+	}
+	// The appended values must themselves be call-free.
+	if !c.callFreeAll(call.Args[1:]) {
+		return nil
+	}
+	return obj
+}
+
+// callFree reports whether e contains no function calls other than
+// pure builtins (len, cap, min, max) and type conversions.
+func (c *checker) callFree(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if tv, found := c.pass.TypesInfo.Types[call.Fun]; found && tv.IsType() {
+			return true // conversion
+		}
+		switch {
+		case c.isBuiltin(call.Fun, "len"), c.isBuiltin(call.Fun, "cap"),
+			c.isBuiltin(call.Fun, "min"), c.isBuiltin(call.Fun, "max"):
+			return true
+		}
+		ok = false
+		return false
+	})
+	return ok
+}
+
+func (c *checker) callFreeAll(es []ast.Expr) bool {
+	for _, e := range es {
+		if !c.callFree(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing
+// function in stack, or the outermost node as a fallback.
+func enclosingFuncBody(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	if len(stack) > 0 {
+		return stack[0]
+	}
+	return nil
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.* call
+// positioned after `after` within body.
+func sortedAfter(pass *analysis.Pass, body ast.Node, after token.Pos, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+					return false
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,25 @@
+package detmap
+
+import (
+	"testing"
+
+	"ehdl/internal/analysis/analysistest"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, Analyzer, "detmaptest")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"ehdl/internal/fleet":      true,
+		"ehdl/internal/fleet/memo": true,
+		"ehdl/internal/quant":      true,
+		"ehdl/internal/harvest":    false,
+		"ehdl/cmd/ehfleet":         false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package detmaptest exercises the detmap analyzer: order-sensitive
+// map ranges must be flagged; blessed idioms and justified
+// annotations must not.
+package detmaptest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// floatAccum is order-sensitive: float addition is not associative.
+func floatAccum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `order-sensitive`
+		s += v
+	}
+	return s
+}
+
+// appendNoSort collects keys but never sorts them.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// callInBody escapes analysis: arbitrary calls may observe order.
+func callInBody(m map[string]int) {
+	for k, v := range m { // want `order-sensitive`
+		fmt.Println(k, v)
+	}
+}
+
+// collectThenSort is the blessed rendering idiom.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perKeyFold writes only element k of another map each iteration.
+func perKeyFold(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// intAccum folds with wrapping integer addition: order-insensitive.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+		n++
+	}
+	return n
+}
+
+// localCopy takes a call-free local copy, then folds per key.
+func localCopy(dst map[string]*int, src map[string]int) {
+	for k, v := range src {
+		v := v
+		dst[k] = &v
+	}
+}
+
+// justified carries an annotation with a reason.
+func justified(m map[string]chan int) {
+	for _, ch := range m { //ehdl:unordered close order does not matter, all channels are independent
+		close(ch)
+	}
+}
+
+// unjustified carries the annotation but no reason: still an error.
+func unjustified(m map[string]chan int) {
+	for _, ch := range m { //ehdl:unordered  // want `needs a justification`
+		close(ch)
+	}
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+// Package directive parses the //ehdl: comment annotations that the
+// ehdlvet analyzers share, so all passes agree on one syntax:
+//
+//	//ehdl:<name> <justification...>
+//
+// Recognized names are the business of each analyzer (unordered,
+// wallclock, alloc, opaque, hotpath); this package only tokenizes and
+// answers "which directive governs this source line". A trailing
+// directive (code on the same line) governs its own line; a directive
+// on a line of its own governs the next line — which, for the
+// statement-level checks, means the statement starting there.
+//
+// Misspelled names are not an error here: an unknown directive simply
+// fails to match any analyzer's lookup, so the diagnostic it was
+// meant to silence still fires — the gate fails closed.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix introduces every ehdl directive comment.
+const Prefix = "//ehdl:"
+
+// Directive is one parsed //ehdl: annotation.
+type Directive struct {
+	Name string    // e.g. "unordered"
+	Arg  string    // trailing justification, may be ""
+	Pos  token.Pos // position of the comment
+}
+
+// parse splits a raw comment text into a Directive, or ok=false if it
+// is not an ehdl directive.
+func parse(text string, pos token.Pos) (Directive, bool) {
+	rest, ok := strings.CutPrefix(text, Prefix)
+	if !ok {
+		return Directive{}, false
+	}
+	name, arg, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Directive{}, false
+	}
+	// An embedded "//" ends the justification, so an ordinary comment
+	// can follow a directive on the same line.
+	if i := strings.Index(arg, "//"); i >= 0 {
+		arg = arg[:i]
+	}
+	return Directive{Name: name, Arg: strings.TrimSpace(arg), Pos: pos}, true
+}
+
+// File indexes a parsed file's directives by the line they govern.
+type File struct {
+	byLine map[int][]Directive
+}
+
+// Index collects every //ehdl: directive in f. To decide whether a
+// comment is trailing (governs its own line) or standalone (governs
+// the next line), it marks every line on which an AST node begins as
+// a code line; a directive on a code line is trailing.
+func Index(fset *token.FileSet, f *ast.File) *File {
+	codeLines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		if n.Pos().IsValid() {
+			codeLines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	idx := &File{byLine: map[int][]Directive{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parse(c.Text, c.Pos())
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if !codeLines[line] {
+				line++ // standalone comment: governs the next line
+			}
+			idx.byLine[line] = append(idx.byLine[line], d)
+		}
+	}
+	return idx
+}
+
+// At returns the directive named name governing the given line.
+func (f *File) At(line int, name string) (Directive, bool) {
+	for _, d := range f.byLine[line] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Covering looks for a directive named name governing the line on
+// which node begins, or the line of any enclosing statement in stack
+// (innermost last, as produced by analysis.WalkStack). This lets one
+// annotation on an `if` header cover the allocation-fallback block
+// under it, without ever reaching past the enclosing function body.
+func (f *File) Covering(fset *token.FileSet, node ast.Node, stack []ast.Node, name string) (Directive, bool) {
+	if d, ok := f.At(fset.Position(node.Pos()).Line, name); ok {
+		return d, true
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit, *ast.File:
+			return Directive{}, false
+		case ast.Stmt:
+			if d, ok := f.At(fset.Position(stack[i].Pos()).Line, name); ok {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// FromDoc scans a declaration's doc comment group for a directive.
+func FromDoc(doc *ast.CommentGroup, name string) (Directive, bool) {
+	if doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range doc.List {
+		if d, ok := parse(c.Text, c.Pos()); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

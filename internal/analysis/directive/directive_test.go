@@ -1,0 +1,160 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+// doc comment
+//
+//ehdl:hotpath inner loop of the forward pass
+func hot() {
+	x := 1 //ehdl:unordered trailing justification
+	_ = x
+	//ehdl:alloc standalone governs next line
+	y := 2
+	_ = y
+	if x == y { //ehdl:alloc covers the block
+		z := 3
+		_ = z
+	}
+	//ehdl:wallclock
+	w := 4
+	_ = w
+}
+`
+
+func parseSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestTrailingAndStandalone(t *testing.T) {
+	fset, f := parseSrc(t)
+	idx := Index(fset, f)
+
+	// Trailing directive governs its own line (x := 1 is line 7).
+	d, ok := idx.At(7, "unordered")
+	if !ok {
+		t.Fatalf("no unordered directive on line 7")
+	}
+	if d.Arg != "trailing justification" {
+		t.Fatalf("Arg = %q", d.Arg)
+	}
+
+	// Standalone directive on line 9 governs line 10 (y := 2).
+	if _, ok := idx.At(9, "alloc"); ok {
+		t.Fatalf("standalone directive should not govern its own line")
+	}
+	if _, ok := idx.At(10, "alloc"); !ok {
+		t.Fatalf("standalone directive does not govern the next line")
+	}
+
+	// Empty justification parses with Arg == "" (the analyzers reject it).
+	d, ok = idx.At(17, "wallclock")
+	if !ok {
+		t.Fatalf("no wallclock directive on line 17")
+	}
+	if d.Arg != "" {
+		t.Fatalf("Arg = %q, want empty", d.Arg)
+	}
+
+	// A misspelled name never matches: fails closed.
+	if _, ok := idx.At(7, "unorderd"); ok {
+		t.Fatalf("typo matched a directive")
+	}
+}
+
+func TestCoveringClimbsStatements(t *testing.T) {
+	fset, f := parseSrc(t)
+	idx := Index(fset, f)
+
+	// Find z := 3 inside the if block and the stack above it.
+	var target ast.Node
+	var stack []ast.Node
+	var walk func(n ast.Node, cur []ast.Node)
+	walk = func(n ast.Node, cur []ast.Node) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "z" {
+				target = n
+				stack = append([]ast.Node(nil), cur...)
+			}
+		}
+		cur = append(cur, n)
+		for _, c := range childrenOf(n) {
+			walk(c, cur)
+		}
+	}
+	walk(f, nil)
+	if target == nil {
+		t.Fatalf("did not find z := 3")
+	}
+	d, ok := idx.Covering(fset, target, stack, "alloc")
+	if !ok {
+		t.Fatalf("directive on if header does not cover the block")
+	}
+	if d.Arg != "covers the block" {
+		t.Fatalf("Arg = %q", d.Arg)
+	}
+	// But it must not cover nodes outside the if statement.
+	var outside ast.Node
+	var outStack []ast.Node
+	var findW func(n ast.Node, cur []ast.Node)
+	findW = func(n ast.Node, cur []ast.Node) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+				outside = n
+				outStack = append([]ast.Node(nil), cur...)
+			}
+		}
+		cur = append(cur, n)
+		for _, c := range childrenOf(n) {
+			findW(c, cur)
+		}
+	}
+	findW(f, nil)
+	if _, ok := idx.Covering(fset, outside, outStack, "alloc"); ok {
+		t.Fatalf("alloc directive leaked outside its statement")
+	}
+}
+
+func TestFromDoc(t *testing.T) {
+	_, f := parseSrc(t)
+	fn := f.Decls[0].(*ast.FuncDecl)
+	d, ok := FromDoc(fn.Doc, "hotpath")
+	if !ok {
+		t.Fatalf("hotpath directive not found in doc comment")
+	}
+	if d.Arg != "inner loop of the forward pass" {
+		t.Fatalf("Arg = %q", d.Arg)
+	}
+	if _, ok := FromDoc(fn.Doc, "alloc"); ok {
+		t.Fatalf("unrelated directive matched in doc")
+	}
+}
+
+// childrenOf returns the direct AST children of n, in source order.
+func childrenOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,93 @@
+// Package errwrap enforces the PR 3 typed-error discipline: in the
+// packages whose errors cross the CLI boundary, fmt.Errorf that
+// stringifies an error argument without %w severs the chain that
+// errors.Is/As (and every `grep -q` in the smoke tests) depends on.
+//
+// The rule: a fmt.Errorf call whose arguments include an error must
+// contain %w somewhere in its constant format string. The deliberate
+// `"%w: %v"` pattern — wrap the sentinel, stringify the cause —
+// passes, because the chain stays typed through the sentinel. A call
+// that must intentionally flatten an error (e.g. to keep a raw gob
+// message out of user output) is annotated `//ehdl:opaque <why>`.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"ehdl/internal/analysis"
+	"ehdl/internal/analysis/directive"
+)
+
+// Analyzer is the errwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "requires fmt.Errorf with error arguments to wrap via %w in CLI-facing packages",
+	Packages: []string{
+		"ehdl/internal/artifact/...",
+		"ehdl/internal/cli",
+		"ehdl/internal/fleet/...",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	errorType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		idx := directive.Index(pass.Fset, file)
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constFormat(pass, call.Args[0])
+			if !ok {
+				return true // dynamic format: out of scope
+			}
+			if strings.Contains(strings.ReplaceAll(format, "%%", ""), "%w") {
+				return true
+			}
+			hasErrArg := false
+			for _, arg := range call.Args[1:] {
+				if t := pass.TypesInfo.TypeOf(arg); t != nil && types.AssignableTo(t, errorType) {
+					hasErrArg = true
+					break
+				}
+			}
+			if !hasErrArg {
+				return true
+			}
+			if d, ok := idx.Covering(pass.Fset, call, stack, "opaque"); ok {
+				if d.Arg == "" {
+					pass.Reportf(d.Pos, "//ehdl:opaque needs a justification: say why this error chain is deliberately severed")
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(), "fmt.Errorf stringifies an error without %%w: the chain becomes invisible to errors.Is/As; wrap with %%w or a sentinel, or annotate //ehdl:opaque <why>")
+			return true
+		})
+	}
+	return nil
+}
+
+// constFormat extracts a constant string format argument.
+func constFormat(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,25 @@
+package errwrap
+
+import (
+	"testing"
+
+	"ehdl/internal/analysis/analysistest"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, Analyzer, "errwraptest")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"ehdl/internal/artifact":       true,
+		"ehdl/internal/artifact/cache": true,
+		"ehdl/internal/fleet/memo":     true,
+		"ehdl/internal/cli":            true,
+		"ehdl/internal/quant":          false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

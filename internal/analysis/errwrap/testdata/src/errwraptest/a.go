@@ -1,0 +1,45 @@
+// Package errwraptest exercises the errwrap analyzer.
+package errwraptest
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// severed stringifies the cause: errors.Is can no longer see it.
+func severed(err error) error {
+	return fmt.Errorf("loading model: %v", err) // want `without %w`
+}
+
+// wrapped keeps the chain typed.
+func wrapped(err error) error {
+	return fmt.Errorf("loading model: %w", err)
+}
+
+// sentinelWrap is the blessed `"%w: %v"` pattern: the sentinel stays
+// inspectable, the cause is deliberately flattened into the message.
+func sentinelWrap(err error) error {
+	return fmt.Errorf("%w: payload does not decode: %v", errSentinel, err)
+}
+
+// noErrArgs formats plain values: nothing to wrap.
+func noErrArgs(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// opaque flattens on purpose, with a reason.
+func opaque(err error) error {
+	return fmt.Errorf("internal state invalid: %v", err) //ehdl:opaque raw decoder text must not reach CLI output
+}
+
+// opaqueUnjustified flattens with an empty justification.
+func opaqueUnjustified(err error) error {
+	return fmt.Errorf("state invalid: %v", err) //ehdl:opaque // want `needs a justification`
+}
+
+// escapedPercent must not count %%w as wrapping.
+func escapedPercent(err error) error {
+	return fmt.Errorf("literal %%w here: %v", err) // want `without %w`
+}

@@ -1,0 +1,242 @@
+// Package hotalloc flags allocation-inducing constructs inside
+// functions whose doc comment carries `//ehdl:hotpath` — the
+// source-level twin of the PR 1 zero-alloc benchmark gate, naming the
+// offending line instead of just failing a -benchmem assertion.
+//
+// Inside a hotpath function it reports: make/new/append, slice, map
+// and &T{} composite literals, fmt formatting calls (Sprintf, Sprint,
+// Sprintln, Errorf, Appendf), string<->[]byte/[]rune conversions,
+// non-constant string concatenation, function literals (closure
+// allocation), and interface boxing at call sites (a concrete value
+// passed as an interface parameter).
+//
+// Arguments of panic(...) are exempt: a panic is the cold failure
+// path, and formatting its message allocates only when the program is
+// already dying. Deliberate cold-path allocations (grow-on-demand
+// scratch, nil-fallback buffers) are suppressed with
+// `//ehdl:alloc <justification>` on the line or its enclosing
+// statement header.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ehdl/internal/analysis"
+	"ehdl/internal/analysis/directive"
+)
+
+// Analyzer is the hotalloc pass. It applies everywhere: only
+// functions annotated //ehdl:hotpath are inspected.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation-inducing constructs inside //ehdl:hotpath functions",
+	Run:  run,
+}
+
+// fmtAllocs are the fmt package's allocating formatters.
+var fmtAllocs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Appendf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		idx := directive.Index(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := directive.FromDoc(fn.Doc, "hotpath"); !ok {
+				continue
+			}
+			checkBody(pass, idx, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, idx *directive.File, body *ast.BlockStmt) {
+	report := func(n ast.Node, stack []ast.Node, format string, args ...any) {
+		if d, ok := idx.Covering(pass.Fset, n, stack, "alloc"); ok {
+			if d.Arg == "" {
+				pass.Reportf(d.Pos, "//ehdl:alloc needs a justification: say why this allocation is acceptable on the hot path")
+			}
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "panic") {
+				return false // cold failure path: skip the whole argument
+			}
+			if name, ok := builtinName(pass, n.Fun); ok {
+				switch name {
+				case "make", "new", "append":
+					report(n, stack, "%s allocates on the hot path; preallocate in the constructor or reuse scratch", name)
+				}
+				return true
+			}
+			if fn := calledFunc(pass, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "fmt" && fmtAllocs[fn.Name()] {
+				report(n, stack, "fmt.%s allocates on the hot path; format off the hot path or reuse a buffer", fn.Name())
+				return true
+			}
+			if conv, bad := allocConversion(pass, n); bad {
+				report(n, stack, "%s conversion allocates a copy on the hot path", conv)
+				return true
+			}
+			reportBoxedArgs(pass, idx, n, stack, report)
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(n, stack, "composite literal allocates a %s on the hot path", kindName(t))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n, stack, "&composite literal escapes to the heap on the hot path")
+					return false // don't double-report the inner literal
+				}
+			}
+		case *ast.FuncLit:
+			report(n, stack, "closure allocates on the hot path; hoist it to a named function or method")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass, n) && !isConstant(pass, n) {
+				report(n, stack, "string concatenation allocates on the hot path")
+			}
+		}
+		return true
+	})
+}
+
+// reportBoxedArgs flags concrete values passed as interface parameters.
+func reportBoxedArgs(pass *analysis.Pass, idx *directive.File, call *ast.CallExpr, stack []ast.Node,
+	report func(ast.Node, []ast.Node, string, ...any)) {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // []T passed whole: no boxing
+			} else if s, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue // interface-to-interface: no new box
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg, stack, "passing %s as %s boxes the value on the hot path", at, pt)
+	}
+}
+
+// allocConversion detects string<->[]byte / []rune conversions.
+func allocConversion(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return "", false
+	}
+	dst := tv.Type.Underlying()
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return "", false
+	}
+	srcU := src.Underlying()
+	if isString(dst) && isByteOrRuneSlice(srcU) {
+		return "[]byte/[]rune-to-string", true
+	}
+	if isByteOrRuneSlice(dst) && isString(srcU) {
+		return "string-to-slice", true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isStringExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && isString(t.Underlying())
+}
+
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func builtinName(pass *analysis.Pass, fun ast.Expr) (string, bool) {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); !isB {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	n, ok := builtinName(pass, fun)
+	return ok && n == name
+}
+
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "value"
+}

@@ -1,0 +1,11 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"ehdl/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, Analyzer, "hotalloctest")
+}

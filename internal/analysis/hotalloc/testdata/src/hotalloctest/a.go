@@ -1,0 +1,67 @@
+// Package hotalloctest exercises the hotalloc analyzer.
+package hotalloctest
+
+import "fmt"
+
+func sinkAny(v any) { _ = v }
+func sinkInt(v int) { _ = v }
+func sinkVariadic(v ...any) {
+	_ = v
+}
+
+// hot is annotated; every allocating construct inside must be named.
+//
+//ehdl:hotpath
+func hot(dst, x []float64, n int) float64 {
+	buf := make([]float64, n) // want `make allocates`
+	buf = append(buf, 1.0)    // want `append allocates`
+	s := fmt.Sprintf("%d", n) // want `fmt.Sprintf allocates`
+	_ = s
+	lit := []int{1, 2, 3} // want `composite literal allocates a slice`
+	_ = lit
+	m := map[int]int{} // want `composite literal allocates a map`
+	_ = m
+	p := &point{1, 2} // want `escapes to the heap`
+	_ = p
+	f := func() {} // want `closure allocates`
+	f()
+	b := []byte("abc") // want `string-to-slice conversion allocates`
+	_ = b
+	sinkAny(n)      // want `passing int as any boxes`
+	sinkInt(n)      // concrete-to-concrete: fine
+	sinkVariadic(n) // want `boxes the value`
+	acc := 0.0
+	for i := range x {
+		dst[i] = x[i] * 2 // element writes are free
+		acc += x[i]
+	}
+	return acc + buf[0]
+}
+
+// hotSuppressed shows the two blessed escapes.
+//
+//ehdl:hotpath cold fallbacks annotated below
+func hotSuppressed(dst []float64, n int) []float64 {
+	if dst == nil { //ehdl:alloc nil-dst fallback: callers on the hot path always preallocate
+		dst = make([]float64, n)
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // cold failure path: exempt
+	}
+	return dst
+}
+
+// hotUnjustified suppresses without saying why: still an error.
+//
+//ehdl:hotpath
+func hotUnjustified(n int) []int {
+	return make([]int, n) //ehdl:alloc // want `needs a justification`
+}
+
+// cold is not annotated: allocate freely.
+func cold(n int) []int {
+	out := make([]int, n)
+	return append(out, len(out))
+}
+
+type point struct{ x, y int }

@@ -1,0 +1,282 @@
+// Package load type-checks Go packages for the ehdlvet analyzers
+// without golang.org/x/tools: one `go list -deps -json` subprocess
+// discovers the file sets and import graph, and go/types checks the
+// results. Dependency packages (the standard library, from the
+// analyzers' point of view) are checked declarations-only
+// (IgnoreFuncBodies) with their type errors swallowed; target
+// packages are checked fully and any type error is fatal, so a pass
+// never walks an ill-typed tree.
+//
+// All loads share one process-wide token.FileSet and a cache of
+// checked dependency packages, so a test binary running several
+// analyzers over several testdata packages pays the standard-library
+// parse cost once.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one fully type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPkg mirrors the fields of `go list -json` output we consume.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+var (
+	mu   sync.Mutex
+	fset = token.NewFileSet()
+	// meta holds `go list` metadata for every package seen so far.
+	meta = map[string]*listPkg{}
+	// deps caches declarations-only checked dependency packages.
+	deps = map[string]*types.Package{}
+	// checking guards against import cycles during recursion.
+	checking = map[string]bool{}
+)
+
+// Targets lists and fully type-checks the packages matching patterns
+// (e.g. "./...") relative to dir, returning them in deterministic
+// import-path order. Dependencies are loaded as declarations only.
+func Targets(dir string, patterns ...string) ([]*Package, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	listed, err := runList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := checkTarget(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// Dir type-checks the single package rooted at dir (all non-test .go
+// files), resolving its imports against the standard library. It is
+// the analysistest entry point: testdata packages live outside any
+// `go list`-visible build graph, so the files are parsed ad hoc.
+func Dir(dir string) (*Package, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, fmt.Errorf("load: glob %s: %w", dir, err)
+	}
+	var files []string
+	for _, m := range matches {
+		if strings.HasSuffix(filepath.Base(m), "_test.go") {
+			continue
+		}
+		files = append(files, m)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	lp := &listPkg{ImportPath: dir, Dir: dir, GoFiles: nil}
+	for _, f := range files {
+		lp.GoFiles = append(lp.GoFiles, filepath.Base(f))
+	}
+	return checkTarget(lp)
+}
+
+// runList executes one `go list -e -deps -json` covering patterns and
+// records every package's metadata, returning the target (non-DepOnly)
+// entries in listing order.
+func runList(dir string, patterns []string) ([]*listPkg, error) {
+	args := []string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,DepOnly,Incomplete,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var listed []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		meta[lp.ImportPath] = lp
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// ensureMeta guarantees `go list` metadata exists for path, listing it
+// (plus its deps) on demand — used when an ad-hoc testdata package
+// imports something no previous load pulled in.
+func ensureMeta(path, fromDir string) (*listPkg, error) {
+	if lp, ok := meta[path]; ok {
+		return lp, nil
+	}
+	if _, err := runList(fromDir, []string{path}); err != nil {
+		return nil, err
+	}
+	lp, ok := meta[path]
+	if !ok {
+		return nil, fmt.Errorf("load: go list did not report %s", path)
+	}
+	return lp, nil
+}
+
+// checkTarget parses and fully type-checks one target package.
+func checkTarget(lp *listPkg) (*Package, error) {
+	files, err := parseFiles(lp, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: &mapImporter{from: lp},
+		Error:    func(error) {}, // collect all; first error returned by Check
+	}
+	name := lp.ImportPath
+	if lp.Name != "" {
+		name = lp.Name
+	}
+	pkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// checkDep returns the declarations-only types.Package for a
+// dependency import path, checking (and caching) it on first use.
+// Type errors in dependencies are ignored: a decl-only check of an
+// arbitrary stdlib package can trip over build-tag subtleties that
+// never matter to the analyzers, which only need its exported shape.
+func checkDep(path, fromDir string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := deps[path]; ok {
+		return pkg, nil
+	}
+	if checking[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	checking[path] = true
+	defer delete(checking, path)
+
+	lp, err := ensureMeta(path, fromDir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := parseFiles(lp, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         &mapImporter{from: lp},
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(error) {},
+	}
+	pkg, _ := conf.Check(path, fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("load: dependency %s failed to check", path)
+	}
+	// Mark complete even on soft errors so importers accept it.
+	pkg.MarkComplete()
+	deps[path] = pkg
+	return pkg, nil
+}
+
+func parseFiles(lp *listPkg, mode parser.Mode) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("load: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// mapImporter resolves import strings written in the source of `from`
+// through its ImportMap (vendor indirection) and hands back cached
+// declarations-only dependency packages.
+type mapImporter struct {
+	from *listPkg
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	resolved := path
+	if m.from.ImportMap != nil {
+		if r, ok := m.from.ImportMap[path]; ok {
+			resolved = r
+		}
+	}
+	return checkDep(resolved, m.from.Dir)
+}
+
+var _ types.Importer = (*mapImporter)(nil)

@@ -1,0 +1,75 @@
+package load
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestTargetsFleet loads a real, import-heavy repo package through the
+// `go list` pipeline and requires a complete, well-typed result: every
+// identifier that go/types should resolve must resolve.
+func TestTargetsFleet(t *testing.T) {
+	pkgs, err := Targets("../../..", "./internal/fleet")
+	if err != nil {
+		t.Fatalf("Targets: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "ehdl/internal/fleet" {
+		t.Fatalf("ImportPath = %q", p.ImportPath)
+	}
+	if p.Pkg == nil || !p.Pkg.Complete() {
+		t.Fatalf("package not completely checked")
+	}
+	if len(p.Files) == 0 {
+		t.Fatalf("no files parsed")
+	}
+	// _test.go files must not leak into the pass: they are exempt from
+	// the determinism analyzers by design.
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if len(name) >= 8 && name[len(name)-8:] == "_test.go" {
+			t.Fatalf("test file %s loaded into non-test pass", name)
+		}
+	}
+	// Spot-check type resolution inside function bodies.
+	typed := 0
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if _, ok := p.Info.Types[e]; ok {
+					typed++
+				}
+			}
+			return true
+		})
+	}
+	if typed < 1000 {
+		t.Fatalf("only %d typed expressions; type info looks incomplete", typed)
+	}
+}
+
+// TestTargetsPatterns loads the whole module and requires the fleet
+// and quant packages to be present exactly once, in sorted order.
+func TestTargetsPatterns(t *testing.T) {
+	pkgs, err := Targets("../../..", "./...")
+	if err != nil {
+		t.Fatalf("Targets ./...: %v", err)
+	}
+	seen := map[string]int{}
+	last := ""
+	for _, p := range pkgs {
+		seen[p.ImportPath]++
+		if p.ImportPath < last {
+			t.Fatalf("packages out of order: %s after %s", p.ImportPath, last)
+		}
+		last = p.ImportPath
+	}
+	for _, want := range []string{"ehdl/internal/fleet", "ehdl/internal/quant", "ehdl/cmd/ehfleet"} {
+		if seen[want] != 1 {
+			t.Fatalf("package %s seen %d times, want 1", want, seen[want])
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package noclock
+
+import (
+	"testing"
+
+	"ehdl/internal/analysis/analysistest"
+)
+
+func TestNoclock(t *testing.T) {
+	analysistest.Run(t, Analyzer, "noclocktest")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"ehdl/internal/fleet":            true,
+		"ehdl/internal/harvest":          true,
+		"ehdl/internal/intermittent":     true,
+		"ehdl/internal/analysis/noclock": false,
+		"ehdl/cmd/ehfleet":               false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -153,8 +153,8 @@ func Decode(r io.Reader, kind string, v any) error {
 	if payloadLen > maxPayload {
 		return fmt.Errorf("%w: declared payload %d bytes", ErrChecksum, payloadLen)
 	}
-	payload := make([]byte, payloadLen)
-	if err := readFull(r, payload, "payload"); err != nil {
+	payload, err := readPayload(r, payloadLen)
+	if err != nil {
 		return err
 	}
 	var gotSum [sha256.Size]byte
@@ -179,6 +179,22 @@ func Decode(r io.Reader, kind string, v any) error {
 		return fmt.Errorf("%w: payload verifies but does not decode as %s: %v", ErrVersion, kind, err)
 	}
 	return nil
+}
+
+// readPayload reads the declared payload without trusting the length
+// for one up-front allocation: a corrupt header can declare anything
+// up to maxPayload, so the buffer grows only as real bytes arrive and
+// a truncated file fails after reading what actually exists.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(int(min(n, 1<<20)))
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: file ends inside payload", ErrTruncated)
+		}
+		return nil, fmt.Errorf("artifact: read payload: %w", err)
+	}
+	return buf.Bytes(), nil
 }
 
 // readFull wraps io.ReadFull, converting short reads into ErrTruncated

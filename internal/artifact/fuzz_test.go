@@ -1,0 +1,65 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fuzzPayload is a small but structurally interesting gob value.
+type fuzzPayload struct {
+	Name    string
+	Weights []float64
+	Tags    map[string]int
+}
+
+const fuzzKind = "test.FuzzPayload"
+
+// FuzzLoadArtifact throws arbitrary bytes at the container parser.
+// The contract under fuzz: Decode never panics, and every failure is
+// one of the typed sentinels — no raw gob/binary errors escape to a
+// caller (the CLI smoke tests grep user-facing output for "gob:").
+func FuzzLoadArtifact(f *testing.F) {
+	valid := encodeValid(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("EHDLMODL"))                 // magic only
+	f.Add(valid[:len(valid)-7])               // truncated checksum
+	f.Add(append([]byte(nil), valid[:20]...)) // truncated header
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0x40 // flip a payload bit: checksum must catch it
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v fuzzPayload
+		err := Decode(bytes.NewReader(data), fuzzKind, &v)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+			!errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) &&
+			!errors.Is(err, ErrKind) {
+			t.Fatalf("untyped decode error for %d bytes: %v", len(data), err)
+		}
+		// Raw decoder text may appear only inside the ErrVersion
+		// schema-drift diagnosis, where the container itself verified.
+		if strings.Contains(err.Error(), "gob:") && !errors.Is(err, ErrVersion) {
+			t.Fatalf("raw gob error leaked: %v", err)
+		}
+	})
+}
+
+func encodeValid(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	err := Encode(&buf, fuzzKind, fuzzPayload{
+		Name:    "fuzz",
+		Weights: []float64{1, 2.5, -3},
+		Tags:    map[string]int{"a": 1},
+	})
+	if err != nil {
+		f.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}

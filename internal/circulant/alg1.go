@@ -41,6 +41,8 @@ func NewAlg1Scratch(k int) *Alg1Scratch {
 //
 // Results land in dst, which must have length len(w) == len(x) == a
 // power of two.
+//
+//ehdl:hotpath
 func MulBlockAlg1(dst []fixed.Q15, w, x []fixed.Q15, wShift uint, s *Alg1Scratch) {
 	k := len(w)
 	if len(x) != k || len(dst) != k {
@@ -68,6 +70,8 @@ func MulBlockAlg1(dst []fixed.Q15, w, x []fixed.Q15, wShift uint, s *Alg1Scratch
 // transform (calibrated by the quantizer so it cannot saturate), which
 // keeps the IFFT working in the high bits. Layer kernels accumulate
 // several raw blocks and apply one combined scale at the end.
+//
+//ehdl:hotpath
 func MulBlockRaw(dst []fixed.Q15, w, x []fixed.Q15, bShift uint, s *Alg1Scratch) {
 	k := len(w)
 	if len(x) != k || len(dst) != k {
@@ -95,6 +99,8 @@ func MulBlockRaw(dst []fixed.Q15, w, x []fixed.Q15, bShift uint, s *Alg1Scratch)
 // executors precompute this once per block and pass the result to
 // MulBlockRawSpec, halving the FFT work of every block multiply
 // without moving an output bit.
+//
+//ehdl:hotpath
 func BlockSpectrum(dst []fftfixed.Complex, w []fixed.Q15) {
 	if len(dst) != len(w) {
 		panic("circulant: BlockSpectrum length mismatch")
@@ -109,6 +115,8 @@ func BlockSpectrum(dst []fftfixed.Complex, w []fixed.Q15) {
 // MulBlockRawSpec is MulBlockRaw with the weight spectrum supplied by
 // the caller (from BlockSpectrum): bit-identical output, one forward
 // FFT instead of two.
+//
+//ehdl:hotpath
 func MulBlockRawSpec(dst []fixed.Q15, wSpec []fftfixed.Complex, x []fixed.Q15, bShift uint, s *Alg1Scratch) {
 	k := len(wSpec)
 	if len(x) != k || len(dst) != k {

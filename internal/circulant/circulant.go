@@ -75,6 +75,8 @@ func CircConv(w, x []float64) []float64 {
 // CircConvInto computes the circular convolution w ⊛ x into dst
 // (length k), reusing s for the FFT path's complex buffers. A nil s
 // falls back to per-call allocation. dst must not alias w or x.
+//
+//ehdl:hotpath
 func CircConvInto(dst, w, x []float64, s *Scratch) {
 	if len(w) != len(x) {
 		panic("circulant: CircConv length mismatch")
@@ -108,6 +110,8 @@ func CircCorr(a, b []float64) []float64 {
 // CircCorrInto computes the circular cross-correlation into dst
 // (length k), reusing s for the FFT path's complex buffers. A nil s
 // falls back to per-call allocation. dst must not alias a or b.
+//
+//ehdl:hotpath
 func CircCorrInto(dst, a, b []float64, s *Scratch) {
 	if len(a) != len(b) {
 		panic("circulant: CircCorr length mismatch")
@@ -270,17 +274,19 @@ func (b *BCM) MulVec(x []float64) []float64 {
 // MulVecInto computes y = B·x into dst (length OutDim; allocated when
 // nil), reusing s for the padded vectors and per-block convolutions so
 // steady-state calls allocate nothing. Returns dst.
+//
+//ehdl:hotpath
 func (b *BCM) MulVecInto(dst, x []float64, s *Scratch) []float64 {
 	if len(x) != b.InDim {
 		panic(fmt.Sprintf("circulant: MulVec got %d elements, want %d", len(x), b.InDim))
 	}
-	if dst == nil {
+	if dst == nil { //ehdl:alloc nil-dst convenience fallback (MulVec); hot-path callers preallocate
 		dst = make([]float64, b.OutDim)
 	}
 	if len(dst) != b.OutDim {
 		panic(fmt.Sprintf("circulant: MulVecInto dst length %d, want %d", len(dst), b.OutDim))
 	}
-	if s == nil {
+	if s == nil { //ehdl:alloc nil-scratch convenience fallback; hot-path callers pass a reused Scratch
 		s = &Scratch{}
 	}
 	xp := padInto(&s.xp, x, b.Q*b.K)
@@ -328,11 +334,13 @@ func (b *BCM) Backward(x, dy []float64) (dx []float64, grads [][][]float64) {
 // InDim) and grads (shape of NewGrads) are filled and returned,
 // allocated first when nil. s buffers the padded vectors so
 // steady-state training calls allocate nothing.
+//
+//ehdl:hotpath
 func (b *BCM) BackwardInto(dx []float64, grads [][][]float64, x, dy []float64, s *Scratch) ([]float64, [][][]float64) {
 	if len(x) != b.InDim || len(dy) != b.OutDim {
 		panic("circulant: Backward shape mismatch")
 	}
-	if dx == nil {
+	if dx == nil { //ehdl:alloc nil-dx convenience fallback (Backward); training loops preallocate
 		dx = make([]float64, b.InDim)
 	}
 	if len(dx) != b.InDim {
@@ -341,7 +349,7 @@ func (b *BCM) BackwardInto(dx []float64, grads [][][]float64, x, dy []float64, s
 	if grads == nil {
 		grads = b.NewGrads()
 	}
-	if s == nil {
+	if s == nil { //ehdl:alloc nil-scratch convenience fallback; training loops pass a reused Scratch
 		s = &Scratch{}
 	}
 	xp := padInto(&s.xp, x, b.Q*b.K)

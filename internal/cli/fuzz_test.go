@@ -1,0 +1,31 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioJSON throws arbitrary documents at the strict scenario
+// decoder. Contract: never panic; on success the schema invariants
+// hold (a non-empty device list with positive counts).
+func FuzzScenarioJSON(f *testing.F) {
+	f.Add(`{"devices":[{"count":2,"engine":"sonic"}]}`)
+	f.Add(`{"seed":7,"devices":[{"count":1,"engine":"ace","cap_uF":100,
+		"profile":{"kind":"sine","power_W":0.005,"period_s":0.1}}]}`)
+	f.Add(`{"devices":[]}`)
+	f.Add(`{"unknown_field":1}`)
+	f.Add(`{"devices":[{"count":2}]} trailing`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		sf, err := DecodeScenarioFile(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if len(sf.Devices) == 0 {
+			t.Fatalf("accepted a scenario with no devices: %q", doc)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"ehdl/internal/fleet"
+)
+
+// ProgressPrinter returns a fleet.StreamOptions.Progress callback
+// that renders one rate/ETA line per tick to w. Elapsed host time is
+// measured on clock — fleet.SystemClock in the CLIs, a fake clock in
+// tests — and the rate baseline excludes the `resumed` rows a resumed
+// checkpoint restored without simulating, so a resumed run reports
+// its true simulation rate rather than an inflated one.
+func ProgressPrinter(w io.Writer, clock fleet.Clock, resumed int) func(done, total int) {
+	if clock == nil {
+		clock = fleet.SystemClock
+	}
+	start := clock.Now()
+	return func(done, total int) {
+		elapsed := clock.Now().Sub(start).Seconds()
+		rate := float64(done-resumed) / elapsed
+		eta := "n/a"
+		if done >= total {
+			eta = "0s"
+		} else if rate > 0 {
+			eta = fmt.Sprintf("%.0fs", float64(total-done)/rate)
+		}
+		fmt.Fprintf(w, "ehfleet: %d/%d devices (%.0f/s, ETA %s, %.0fs elapsed)\n",
+			done, total, rate, eta, elapsed)
+	}
+}

@@ -167,6 +167,8 @@ func transformFloat(x []complex128, inverse bool) {
 // FFT computes the forward transform of x in place with per-stage
 // scaling: the result is DFT(x)/N. Panics if len(x) is not a power of
 // two (the LEA rejects such lengths in hardware).
+//
+//ehdl:hotpath
 func FFT(x []Complex) {
 	transformFixed(x, false)
 }
@@ -177,10 +179,14 @@ func FFT(x []Complex) {
 // rounding. A product of two forward transforms, as in the BCM kernel
 // IFFT(FFT(w)∘FFT(x)), carries a leftover 1/N that Algorithm 1's
 // SCALE-UP step multiplies back out.
+//
+//ehdl:hotpath
 func IFFT(x []Complex) {
 	transformFixed(x, true)
 }
 
+//
+//ehdl:hotpath
 func transformFixed(x []Complex, inverse bool) {
 	n := len(x)
 	if !IsPow2(n) {
@@ -229,6 +235,8 @@ func transformFixed(x []Complex, inverse bool) {
 
 // q30ToQ15 narrows a Q30-scaled value to Q15 after an extra right
 // shift of extra bits, rounding to nearest and saturating.
+//
+//ehdl:hotpath
 func q30ToQ15(v int64, extra uint) fixed.Q15 {
 	shift := uint(fixed.FracBits) + extra
 	v += 1 << (shift - 1)
@@ -245,6 +253,8 @@ func q30ToQ15(v int64, extra uint) fixed.Q15 {
 // MulComplexVec stores the element-wise complex product a[i]*b[i] into
 // dst — the "element-wise multiplication" at the heart of the BCM
 // computation IFFT(FFT(p) ∘ FFT(x)).
+//
+//ehdl:hotpath
 func MulComplexVec(dst, a, b []Complex) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("fftfixed: MulComplexVec length mismatch")
@@ -259,6 +269,8 @@ func MulComplexVec(dst, a, b []Complex) {
 // ShlVec scales every component of v up by 2^n with saturation — the
 // block-domain precision recovery applied between the MPY and IFFT
 // stages of Algorithm 1.
+//
+//ehdl:hotpath
 func ShlVec(v []Complex, n uint) {
 	if n == 0 {
 		return
@@ -270,6 +282,8 @@ func ShlVec(v []Complex, n uint) {
 
 // ToComplex widens a real Q15 vector into a Complex vector with zero
 // imaginary parts (Algorithm 1's COMPLEX step).
+//
+//ehdl:hotpath
 func ToComplex(dst []Complex, src []fixed.Q15) {
 	if len(dst) != len(src) {
 		panic("fftfixed: ToComplex length mismatch")
@@ -281,6 +295,8 @@ func ToComplex(dst []Complex, src []fixed.Q15) {
 
 // Real extracts the real parts of src into dst (Algorithm 1's REAL
 // step).
+//
+//ehdl:hotpath
 func Real(dst []fixed.Q15, src []Complex) {
 	if len(dst) != len(src) {
 		panic("fftfixed: Real length mismatch")

@@ -188,7 +188,7 @@ func (g *GroupStats) add(o *GroupStats) {
 }
 
 func mergeGroups(dst, src map[string]*GroupStats) {
-	for k, g := range src {
+	for k, g := range src { //ehdl:unordered per-key fold: each iteration only adds into dst[k], and GroupStats.add is commutative integer addition
 		group(dst, k).add(g)
 	}
 }

@@ -21,7 +21,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"time"
 )
 
 // Shard directory layout: the meta/checkpoint artifact and the
@@ -70,7 +69,20 @@ func LoadShard(dir string) (*CheckpointState, error) {
 // written. The merged report is bit-identical to a single-process
 // run's (host time aside).
 func MergeShards(rows io.Writer, dirs []string) (Report, error) {
-	start := time.Now()
+	return MergeShardsWith(rows, dirs, MergeOptions{})
+}
+
+// MergeOptions tunes MergeShardsWith.
+type MergeOptions struct {
+	// Clock supplies the host time for Report.HostSeconds; nothing
+	// merged depends on it (nil: SystemClock).
+	Clock Clock
+}
+
+// MergeShardsWith is MergeShards with an injectable host clock.
+func MergeShardsWith(rows io.Writer, dirs []string, opts MergeOptions) (Report, error) {
+	clock := orClock(opts.Clock)
+	start := clock.Now()
 	if len(dirs) == 0 {
 		return Report{}, fmt.Errorf("fleet: no shard directories to merge")
 	}
@@ -128,7 +140,7 @@ func MergeShards(rows io.Writer, dirs []string) (Report, error) {
 		}
 	}
 	rep := agg.Report()
-	rep.HostSeconds = time.Since(start).Seconds()
+	rep.HostSeconds = clock.Now().Sub(start).Seconds()
 	return rep, nil
 }
 

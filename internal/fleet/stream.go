@@ -188,6 +188,9 @@ type StreamOptions struct {
 	Resume *CheckpointState
 	// ChunkSize overrides DefaultChunkSize (<= 0: default).
 	ChunkSize int
+	// Clock supplies the host time used for Report.HostSeconds and
+	// progress pacing — nothing simulated reads it (nil: SystemClock).
+	Clock Clock
 }
 
 // reorder is the bounded window that restores scenario order for sink
@@ -465,7 +468,8 @@ func (c *committer) writeCheckpoint() error {
 // covers restored and newly simulated rows alike, bit-identical to
 // the uninterrupted run's.
 func RunStream(src Source, opts StreamOptions) (Report, error) {
-	start := time.Now()
+	clock := orClock(opts.Clock)
+	start := clock.Now()
 	n := src.Len()
 	part := opts.Partition.norm()
 	if err := part.validate(); err != nil {
@@ -660,7 +664,7 @@ func RunStream(src Source, opts StreamOptions) (Report, error) {
 		st := opts.Memo.Stats()
 		rep.Memo = &st
 	}
-	rep.HostSeconds = time.Since(start).Seconds()
+	rep.HostSeconds = clock.Now().Sub(start).Seconds()
 	if opts.Progress != nil {
 		opts.Progress(base-pstart+int(done.Load()), pend-pstart)
 	}

@@ -1,0 +1,44 @@
+package harvest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzTraceCSV throws arbitrary bytes at the harvest trace loader.
+// Contract: never panic; on success the profile is usable — positive
+// duration, finite power and energy at any queried time, and a
+// stable nonzero fingerprint.
+func FuzzTraceCSV(f *testing.F) {
+	f.Add([]byte("0,0\n1,0.005\n2,0\n"), false)
+	f.Add([]byte("# solar day\n0, 0.001\n43200, 0.012\n86400, 0.001\n"), true)
+	f.Add([]byte(""), false)
+	f.Add([]byte("0,0\n0.5\n"), false)
+	f.Add([]byte("1,nan\n"), true)
+	f.Add([]byte("0,1\n0,2\n"), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, repeat bool) {
+		p, err := LoadTraceCSV(bytes.NewReader(data), repeat)
+		if err != nil {
+			return
+		}
+		d := p.Duration()
+		if !(d > 0) || math.IsInf(d, 0) {
+			t.Fatalf("accepted trace with duration %v", d)
+		}
+		if p.Fingerprint() == 0 || p.Fingerprint() != p.Fingerprint() {
+			t.Fatalf("unstable or zero fingerprint")
+		}
+		for _, at := range []float64{0, d / 3, d, 2 * d, 1e6} {
+			w := p.PowerAt(at)
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				t.Fatalf("PowerAt(%g) = %v", at, w)
+			}
+		}
+		e := p.EnergyBetween(0, d)
+		if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			t.Fatalf("EnergyBetween(0, %g) = %v", d, e)
+		}
+	})
+}

@@ -75,6 +75,12 @@ func NewTraceProfile(times, watts []float64, repeat bool) (*TraceProfile, error)
 	for i := 1; i < len(times); i++ {
 		p.cum[i] = p.cum[i-1] + 0.5*(watts[i-1]+watts[i])*(times[i]-times[i-1])
 	}
+	// Every point is finite, but the trapezoid integral can still
+	// overflow for pathological magnitudes; such a trace would poison
+	// every downstream energy computation with +Inf.
+	if math.IsInf(p.cum[len(p.cum)-1], 0) {
+		return nil, fmt.Errorf("harvest: trace energy integral overflows float64")
+	}
 	return p, nil
 }
 
@@ -96,11 +102,11 @@ func LoadTraceCSV(r io.Reader, repeat bool) (*TraceProfile, error) {
 		}
 		t, err := strconv.ParseFloat(strings.TrimSpace(f[0]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("harvest: trace line %d: bad time: %v", line, err)
+			return nil, fmt.Errorf("harvest: trace line %d: bad time: %w", line, err)
 		}
 		w, err := strconv.ParseFloat(strings.TrimSpace(f[1]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("harvest: trace line %d: bad power: %v", line, err)
+			return nil, fmt.Errorf("harvest: trace line %d: bad power: %w", line, err)
 		}
 		times = append(times, t)
 		watts = append(watts, w)
@@ -191,6 +197,12 @@ func (p *TraceProfile) local(t float64) (r float64, cycles float64) {
 	}
 	cycles = math.Floor(t / d)
 	r = t - cycles*d
+	// t/d can overflow to +Inf (or t-cycles*d to NaN) for extreme
+	// query times; clamp to a defined in-cycle position instead of
+	// handing NaN to the binary search below.
+	if math.IsNaN(r) || r < 0 {
+		r = 0
+	}
 	if r > d {
 		r = d
 	}

@@ -17,6 +17,8 @@ import (
 // square root and reciprocal run on the CPU. All engines and the
 // reference executor share this function, so the factor is
 // bit-identical everywhere.
+//
+//ehdl:hotpath
 func InputScale(x []fixed.Q15, sIn int) fixed.Q15 {
 	var s uint64
 	for _, v := range x {
@@ -142,6 +144,8 @@ func newExecutor(m *Model, timeDomain bool) *Executor {
 // quantized logits (at activation scale 2^S of the final layer).
 // Steady-state calls perform no allocation; the result aliases an
 // internal buffer that the next Forward/Layer/Predict call overwrites.
+//
+//ehdl:hotpath
 func (e *Executor) Forward(x []fixed.Q15) []fixed.Q15 {
 	cur := x
 	dst, other := e.bufA, e.bufB
@@ -162,6 +166,8 @@ func (e *Executor) Layer(li int, x []fixed.Q15) []fixed.Q15 {
 
 // layerInto executes layer li into dst (length = the layer's output
 // length) and returns dst.
+//
+//ehdl:hotpath
 func (e *Executor) layerInto(li int, x, dst []fixed.Q15) []fixed.Q15 {
 	l := &e.m.Layers[li]
 	switch l.Spec.Kind {
@@ -188,9 +194,11 @@ func (e *Executor) layerInto(li int, x, dst []fixed.Q15) []fixed.Q15 {
 
 // Predict quantizes a float input, runs the model, and returns the
 // argmax class. Steady-state calls perform no allocation.
+//
+//ehdl:hotpath
 func (e *Executor) Predict(x []float64) int {
 	q := e.qin
-	if len(q) != len(x) {
+	if len(q) != len(x) { //ehdl:alloc input-length-mismatch fallback; steady-state inputs match the constructor-sized e.qin
 		q = make([]fixed.Q15, len(x))
 	}
 	fixed.FromFloatsInto(q, x)
@@ -212,6 +220,8 @@ func ConvLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 
 // ConvLayerInto is ConvLayer writing into dst (the layer's output
 // length); every element of dst is overwritten. Returns dst.
+//
+//ehdl:hotpath
 func ConvLayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15) []fixed.Q15 {
 	s := l.Spec
 	oh := s.InH - s.KH + 1
@@ -259,6 +269,8 @@ func PoolLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 
 // PoolLayerInto is PoolLayer writing into dst; every element of dst is
 // overwritten. Returns dst.
+//
+//ehdl:hotpath
 func PoolLayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15) []fixed.Q15 {
 	s := l.Spec
 	oh := s.InH / s.PoolSize
@@ -290,6 +302,8 @@ func ReLULayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 
 // ReLULayerInto is ReLULayer writing into dst; every element of dst is
 // overwritten (negatives clamp to zero). Returns dst.
+//
+//ehdl:hotpath
 func ReLULayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15) []fixed.Q15 {
 	out := dst[:len(x)]
 	for i, v := range x {
@@ -310,6 +324,8 @@ func DenseLayer(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 
 // DenseLayerInto is DenseLayer writing into dst; every element of dst
 // is overwritten. Returns dst.
+//
+//ehdl:hotpath
 func DenseLayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15) []fixed.Q15 {
 	s := l.Spec
 	out := dst[:s.Out]
@@ -335,6 +351,8 @@ func BCMLayerTime(l *QLayer, x []fixed.Q15) []fixed.Q15 {
 // BCMLayerTimeInto is BCMLayerTime writing into dst, staging the
 // cosine-normalized input in xs (length ≥ len(x); allocated when nil).
 // Every element of dst is overwritten. Returns dst.
+//
+//ehdl:hotpath
 func BCMLayerTimeInto(dst []fixed.Q15, l *QLayer, x, xs []fixed.Q15) []fixed.Q15 {
 	s := l.Spec
 	k := s.K
@@ -344,7 +362,7 @@ func BCMLayerTimeInto(dst []fixed.Q15, l *QLayer, x, xs []fixed.Q15) []fixed.Q15
 	xv := x
 	if l.CosNorm {
 		scale := InputScale(x, l.SIn)
-		if xs == nil {
+		if xs == nil { //ehdl:alloc nil-scratch fallback for the standalone BCMLayerTime entry; Executor passes its constructor-sized scratch
 			xs = make([]fixed.Q15, len(x))
 		}
 		xv = xs[:len(x)]
@@ -393,6 +411,8 @@ func BCMLayer(l *QLayer, x []fixed.Q15, scratch *circulant.Alg1Scratch) []fixed.
 // the spectrum of a frozen weight block never changes, so precomputing
 // it merely halves the FFT work. Every element of dst is overwritten.
 // Returns dst.
+//
+//ehdl:hotpath
 func BCMLayerInto(dst []fixed.Q15, l *QLayer, x []fixed.Q15, spec []fftfixed.Complex, s *BCMScratch) []fixed.Q15 {
 	sp := l.Spec
 	k := sp.K

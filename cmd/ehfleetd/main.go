@@ -1,0 +1,115 @@
+// Command ehfleetd serves fleet sweeps over HTTP: the long-running
+// counterpart to the one-shot ehfleet CLI. Clients POST a scenario
+// document (the same strict JSON schema as `ehfleet -scenarios`) and
+// stream back progress events and per-device NDJSON rows that are
+// byte-identical to the CLI run's.
+//
+// Usage:
+//
+//	ehfleetd -data DIR [-addr :8080] [-base DIR] [-pool 0]
+//	         [-max-active 4] [-max-body 8388608] [-memo-cap 0]
+//	         [-artifact-cap 0] [-checkpoint-every 0]
+//
+// Endpoints (see the README's "Fleet service" section for schemas):
+//
+//	POST   /v1/jobs             submit a job ({"scenario": ..., "seed": ...})
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel (stops at the commit frontier)
+//	GET    /v1/jobs/{id}/rows   stream NDJSON rows (follows a live job)
+//	GET    /v1/jobs/{id}/events stream state/progress events (NDJSON)
+//	GET    /v1/jobs/{id}/report rendered aggregate report (done jobs)
+//	POST   /v1/merge            merge completed partitioned jobs
+//	GET    /v1/metrics          jobs, queue, pool, memo and cache stats
+//	GET    /healthz             liveness ("ok" | "draining")
+//
+// All jobs share one bounded simulation worker pool (-pool slots),
+// one content-addressed run memo and one model-artifact cache, so
+// concurrent identical work dedups. Every job checkpoints its commit
+// frontier under -data; on SIGTERM/SIGINT the daemon drains — running
+// jobs stop at their frontiers and persist as queued — and the next
+// ehfleetd over the same -data resumes them to byte-identical output.
+// Relative model/trace paths in submitted scenarios resolve against
+// -base.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ehdl/internal/fleetd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ehfleetd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "", "data directory for job state, rows and checkpoints (required)")
+	baseDir := flag.String("base", "", "base directory for relative model/trace paths in scenarios (default: the data dir)")
+	pool := flag.Int("pool", 0, "simulation worker slots shared by all jobs (0 = GOMAXPROCS)")
+	maxActive := flag.Int("max-active", fleetd.DefaultMaxActive, "jobs running at once (more queue FIFO)")
+	maxBody := flag.Int64("max-body", fleetd.DefaultMaxBody, "request body cap in bytes")
+	memoCap := flag.Int("memo-cap", 0, "shared run-memo capacity in entries (0 = default)")
+	artifactCap := flag.Int("artifact-cap", 0, "shared model-artifact cache capacity (0 = default)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "default devices between checkpoint writes (0 = fleet default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Parse()
+
+	if *dataDir == "" {
+		log.Fatal("-data DIR is required")
+	}
+	srv, err := fleetd.New(fleetd.Config{
+		Dir:             *dataDir,
+		BaseDir:         *baseDir,
+		Pool:            *pool,
+		MaxActive:       *maxActive,
+		MaxBody:         *maxBody,
+		MemoCap:         *memoCap,
+		ArtifactCap:     *artifactCap,
+		CheckpointEvery: *checkpointEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slow-client bounds. WriteTimeout stays 0: the rows/events
+		// endpoints legitimately stream for a job's whole lifetime.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (data: %s)", *addr, *dataDir)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("%v: draining (running jobs checkpoint and re-queue)", sig)
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+
+	// Stop the sweeps first — each cancelled job lands a checkpoint at
+	// its commit frontier and persists as queued — then close the
+	// listener and let streaming clients finish reading what exists.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Print("drained")
+}

@@ -36,6 +36,7 @@ var Analyzer = &analysis.Analyzer{
 	Packages: []string{
 		"ehdl/internal/fleet",
 		"ehdl/internal/fleet/memo",
+		"ehdl/internal/fleetd",
 		"ehdl/internal/cli",
 		"ehdl/internal/experiments",
 		"ehdl/internal/quant",

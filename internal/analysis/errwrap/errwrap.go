@@ -29,6 +29,7 @@ var Analyzer = &analysis.Analyzer{
 		"ehdl/internal/artifact/...",
 		"ehdl/internal/cli",
 		"ehdl/internal/fleet/...",
+		"ehdl/internal/fleetd",
 	},
 	Run: run,
 }

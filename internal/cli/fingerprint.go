@@ -40,11 +40,19 @@ func ScenarioFingerprint(path string, seed int64, n int) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("fingerprinting %s: %w", path, err)
 	}
+	return ScenarioBytesFingerprint(data, seed, n), nil
+}
+
+// ScenarioBytesFingerprint is ScenarioFingerprint over an in-memory
+// scenario document — the fleet service fingerprints the POSTed body
+// bytes it persisted, so a daemon restart resumes against exactly the
+// submitted document, byte for byte.
+func ScenarioBytesFingerprint(data []byte, seed int64, n int) string {
 	sum := sha256.Sum256(data)
 	return FleetFingerprint(
 		"scenario",
 		hex.EncodeToString(sum[:]),
 		fmt.Sprintf("seed=%d", seed),
 		fmt.Sprintf("n=%d", n),
-	), nil
+	)
 }

@@ -7,27 +7,55 @@ import (
 	"ehdl/internal/fleet"
 )
 
-// ProgressPrinter returns a fleet.StreamOptions.Progress callback
-// that renders one rate/ETA line per tick to w. Elapsed host time is
-// measured on clock — fleet.SystemClock in the CLIs, a fake clock in
-// tests — and the rate baseline excludes the `resumed` rows a resumed
-// checkpoint restored without simulating, so a resumed run reports
-// its true simulation rate rather than an inflated one.
-func ProgressPrinter(w io.Writer, clock fleet.Clock, resumed int) func(done, total int) {
+// ProgressEvent is one progress tick of a streaming fleet run, in the
+// shape both front-ends share: the CLI renders it as a status line and
+// the fleet service serializes it on a job's event stream. Rate and
+// ETA exclude rows a resumed checkpoint restored without simulating,
+// so a resumed run reports its true simulation rate.
+type ProgressEvent struct {
+	Done    int     `json:"done"`
+	Total   int     `json:"total"`
+	Rate    float64 `json:"rate"`    // devices/s since this run started
+	ETA     string  `json:"eta"`     // "12s", "0s" when done, "n/a" before a rate exists
+	Elapsed float64 `json:"elapsed"` // host seconds since this run started
+}
+
+// ProgressTracker returns a callback that turns RunStream's (done,
+// total) ticks into ProgressEvents. Elapsed host time is measured on
+// clock — fleet.SystemClock in the CLIs, a fake clock in tests; nil
+// defaults to fleet.SystemClock — and the rate baseline excludes the
+// `resumed` rows already present at start.
+func ProgressTracker(clock fleet.Clock, resumed int) func(done, total int) ProgressEvent {
 	if clock == nil {
 		clock = fleet.SystemClock
 	}
 	start := clock.Now()
-	return func(done, total int) {
+	return func(done, total int) ProgressEvent {
 		elapsed := clock.Now().Sub(start).Seconds()
-		rate := float64(done-resumed) / elapsed
+		rate := 0.0
+		if elapsed > 0 {
+			// Guarded: a zero-elapsed tick (frozen test clock, sub-tick
+			// resolution) must not produce ±Inf, which json.Marshal rejects.
+			rate = float64(done-resumed) / elapsed
+		}
 		eta := "n/a"
 		if done >= total {
 			eta = "0s"
 		} else if rate > 0 {
 			eta = fmt.Sprintf("%.0fs", float64(total-done)/rate)
 		}
+		return ProgressEvent{Done: done, Total: total, Rate: rate, ETA: eta, Elapsed: elapsed}
+	}
+}
+
+// ProgressPrinter returns a fleet.StreamOptions.Progress callback
+// that renders one rate/ETA line per tick to w, via ProgressTracker
+// (see it for the clock and resumed-baseline semantics).
+func ProgressPrinter(w io.Writer, clock fleet.Clock, resumed int) func(done, total int) {
+	track := ProgressTracker(clock, resumed)
+	return func(done, total int) {
+		ev := track(done, total)
 		fmt.Fprintf(w, "ehfleet: %d/%d devices (%.0f/s, ETA %s, %.0fs elapsed)\n",
-			done, total, rate, eta, elapsed)
+			ev.Done, ev.Total, ev.Rate, ev.ETA, ev.Elapsed)
 	}
 }

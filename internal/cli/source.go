@@ -55,7 +55,7 @@ type FleetSource struct {
 	seed    int64
 	specs   []compiledSpec
 	cum     []int // cum[k] = first natural index of spec k; len(specs)+1
-	store   *artifactStore
+	cache   *ArtifactCache
 	memo    *MemoSpec // the file's "memo" block (nil when absent)
 }
 
@@ -70,17 +70,35 @@ func LoadFleetSource(path string, seed int64) (*FleetSource, error) {
 	if err != nil {
 		return nil, err
 	}
+	src, err := CompileFleetSource(sf, filepath.Dir(path), seed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("scenario file %s: %w", path, err)
+	}
+	return src, nil
+}
+
+// CompileFleetSource compiles an already-parsed scenario document
+// into a fleet source. Relative model and trace paths resolve against
+// baseDir. cache, when non-nil, is a shared ArtifactCache — the fleet
+// service passes one process-wide cache so concurrent jobs naming the
+// same artifacts load them once; nil gets a private cache, matching
+// LoadFleetSource's one-shot CLI behaviour.
+func CompileFleetSource(sf *ScenarioFile, baseDir string, seed int64, cache *ArtifactCache) (*FleetSource, error) {
+	if cache == nil {
+		cache = newArtifactCache()
+	}
 	c := &compiler{
-		baseDir: filepath.Dir(path),
-		store:   newArtifactStore(seed),
+		baseDir: baseDir,
+		seed:    seed,
+		cache:   cache,
 		traces:  map[string]*harvest.TraceProfile{},
 	}
-	src := &FleetSource{seed: seed, cum: []int{0}, store: c.store, memo: sf.Memo}
+	src := &FleetSource{seed: seed, cum: []int{0}, cache: cache, memo: sf.Memo}
 	for di := range sf.Devices {
 		spec, err := c.compile(&sf.Defaults, &sf.Devices[di], di)
 		if err != nil {
-			return nil, fmt.Errorf("scenario file %s: device %d (%s): %w",
-				path, di, specName(&sf.Devices[di], di), err)
+			return nil, fmt.Errorf("device %d (%s): %w",
+				di, specName(&sf.Devices[di], di), err)
 		}
 		src.specs = append(src.specs, spec)
 		src.natural += spec.count
@@ -102,7 +120,7 @@ func (s *FleetSource) Memo() *MemoSpec { return s.memo }
 // device i mod the natural size), with jitter and sample cycling
 // keyed by the global index so every clone is a distinct device.
 // Resized fleets name devices "spec/i" with the global index. n <= 0
-// restores the natural size. The artifact store is shared with the
+// restores the natural size. The artifact cache is shared with the
 // original source.
 func (s *FleetSource) Resize(n int) *FleetSource {
 	out := *s
@@ -126,7 +144,7 @@ func (s *FleetSource) At(i int) (fleet.Scenario, error) {
 	k := sort.Search(len(s.specs), func(k int) bool { return s.cum[k+1] > base })
 	spec := &s.specs[k]
 
-	b, err := s.store.bundle(spec.modelPath)
+	b, err := s.cache.bundle(spec.modelPath, s.seed)
 	if err != nil {
 		return fleet.Scenario{}, err
 	}
@@ -218,35 +236,62 @@ type modelBundle struct {
 	inputs [][]fixed.Q15
 }
 
-// artifactStore serves model bundles through a bounded LRU (the memo
-// package's, doing double duty as the ROADMAP's model-store LRU).
+// artifactKey identifies one loadable bundle: the resolved artifact
+// path plus the dataset seed (two fleets with different seeds derive
+// different test inputs from the same model file).
+type artifactKey struct {
+	path string
+	seed int64
+}
+
+// ArtifactCache serves model bundles through a bounded LRU (the memo
+// package's, doing double duty as the ROADMAP's model-store LRU),
+// keyed by (resolved path, seed) so it can be shared across fleet
+// sources — the fleet service keeps one for the whole process.
 // Reloading an evicted bundle is deterministic — artifacts are
 // immutable files and datasets are generated from the expansion seed
 // — so eviction changes pointer identity, never content: memoization
 // keys on the content digest and sees the same model either way.
-type artifactStore struct {
-	mu   sync.Mutex // also serializes loads: misses are rare after warm-up
-	seed int64
-	lru  *memo.LRU[string, *modelBundle]
+type ArtifactCache struct {
+	mu  sync.Mutex // also serializes loads: misses are rare after warm-up
+	lru *memo.LRU[artifactKey, *modelBundle]
 }
 
-func newArtifactStore(seed int64) *artifactStore {
-	return &artifactStore{seed: seed, lru: memo.NewLRU[string, *modelBundle](artifactCacheCap)}
+// NewArtifactCache returns a cache bounded to capacity bundles
+// (capacity <= 0 uses DefaultArtifactCacheCap).
+func NewArtifactCache(capacity int) *ArtifactCache {
+	if capacity <= 0 {
+		capacity = DefaultArtifactCacheCap
+	}
+	return &ArtifactCache{lru: memo.NewLRU[artifactKey, *modelBundle](capacity)}
 }
 
-// bundle returns the bundle for the resolved artifact path, loading
-// (or reloading, after eviction) on miss.
-func (a *artifactStore) bundle(resolved string) (*modelBundle, error) {
+// newArtifactCache builds the per-source private cache at the live
+// (test-adjustable) bound.
+func newArtifactCache() *ArtifactCache {
+	return &ArtifactCache{lru: memo.NewLRU[artifactKey, *modelBundle](artifactCacheCap)}
+}
+
+// Len returns the number of loaded bundles (for service metrics).
+func (a *ArtifactCache) Len() int { return a.lru.Len() }
+
+// Evictions returns how many bundles were dropped to make room.
+func (a *ArtifactCache) Evictions() uint64 { return a.lru.Evictions() }
+
+// bundle returns the bundle for the resolved artifact path under
+// seed, loading (or reloading, after eviction) on miss.
+func (a *ArtifactCache) bundle(resolved string, seed int64) (*modelBundle, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if b, ok := a.lru.Get(resolved); ok {
+	key := artifactKey{path: resolved, seed: seed}
+	if b, ok := a.lru.Get(key); ok {
 		return b, nil
 	}
 	m, err := LoadModel(resolved)
 	if err != nil {
 		return nil, err
 	}
-	set, err := DatasetFor(m, a.seed)
+	set, err := DatasetFor(m, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -255,17 +300,18 @@ func (a *artifactStore) bundle(resolved string) (*modelBundle, error) {
 		inputs[i] = fixed.FromFloats(set.Test[i].Input)
 	}
 	b := &modelBundle{model: m, set: set, inputs: inputs}
-	a.lru.Add(resolved, b)
+	a.lru.Add(key, b)
 	return b, nil
 }
 
 // compiler carries the shared state of one compilation. Model bundles
-// go through the source's bounded store; traces stay pinned here and
+// go through the source's bounded cache; traces stay pinned here and
 // on their specs (one trace per spec at most, so they are bounded by
 // the file's spec count, not the fleet size).
 type compiler struct {
 	baseDir string
-	store   *artifactStore
+	seed    int64
+	cache   *ArtifactCache
 	traces  map[string]*harvest.TraceProfile
 }
 
@@ -290,7 +336,7 @@ func (c *compiler) compile(def, d *DeviceSpec, di int) (compiledSpec, error) {
 		return spec, fmt.Errorf("no model path (set it on the device or in defaults)")
 	}
 	spec.modelPath = resolvePath(c.baseDir, modelPath)
-	bundle, err := c.store.bundle(spec.modelPath)
+	bundle, err := c.cache.bundle(spec.modelPath, c.seed)
 	if err != nil {
 		return spec, err
 	}

@@ -15,6 +15,8 @@ package fleet
 // fleet.Run is a thin wrapper that attaches a collecting sink.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -188,6 +190,21 @@ type StreamOptions struct {
 	Resume *CheckpointState
 	// ChunkSize overrides DefaultChunkSize (<= 0: default).
 	ChunkSize int
+	// Context, when set, cancels an in-flight run: workers stop at the
+	// next device boundary, no further chunks commit, and RunStream
+	// returns an error wrapping ctx.Err(). A cancelled checkpointed run
+	// still writes one final checkpoint at its commit frontier — the
+	// consistent (aggregator, delivered rows) prefix — so cancellation
+	// (the fleet service's job abort and graceful drain) is resumable
+	// exactly like a crash, minus the lost tail. nil: never cancelled.
+	Context context.Context
+	// Pool, when set, draws simulation slots from a WorkerPool shared
+	// with other concurrent RunStream calls instead of giving this run
+	// Workers unconditional goroutines: each worker holds a slot only
+	// while simulating a chunk, so the pool bounds total simulation
+	// concurrency across every run sharing it. Workers still bounds
+	// this run's goroutine count (its maximum share of the pool).
+	Pool *WorkerPool
 	// Clock supplies the host time used for Report.HostSeconds and
 	// progress pacing — nothing simulated reads it (nil: SystemClock).
 	Clock Clock
@@ -256,6 +273,18 @@ func (w *reorder) deliver(i int, r Result) bool {
 		w.cond.Broadcast()
 	}
 	return true
+}
+
+// cancel fails the window (first error wins) and wakes every worker
+// blocked in deliver, so a cancelled run's workers stop instead of
+// waiting for a window advance that will never come.
+func (w *reorder) cancel(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
 }
 
 // chunkDone is a worker's completion record for one contiguous chunk:
@@ -469,6 +498,10 @@ func (c *committer) writeCheckpoint() error {
 // the uninterrupted run's.
 func RunStream(src Source, opts StreamOptions) (Report, error) {
 	clock := orClock(opts.Clock)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := clock.Now()
 	n := src.Len()
 	part := opts.Partition.norm()
@@ -554,6 +587,24 @@ func RunStream(src Source, opts StreamOptions) (Report, error) {
 		fail := func() { abortOnce.Do(func() { close(abort) }) }
 		cm.fail = fail
 
+		if ctx.Done() != nil {
+			// Watcher: a cancelled context stops dispatch (via abort) and
+			// wakes workers blocked in the reorder window, which would
+			// otherwise wait forever for rows that no one will simulate.
+			watchStop := make(chan struct{})
+			defer close(watchStop)
+			go func() {
+				select {
+				case <-ctx.Done():
+					if win != nil {
+						win.cancel(fmt.Errorf("fleet: run cancelled: %w", ctx.Err()))
+					}
+					fail()
+				case <-watchStop:
+				}
+			}()
+		}
+
 		if cm.spec != nil {
 			cm.writer = newCkptWriter()
 			go cm.writeLoop()
@@ -577,8 +628,25 @@ func RunStream(src Source, opts StreamOptions) (Report, error) {
 					if ce > pend {
 						ce = pend
 					}
+					// A shared pool slot covers simulation only; delivery
+					// below runs slot-free because the reorder window can
+					// block behind rows another run's slot-less worker owes
+					// (see WorkerPool).
+					if opts.Pool != nil && !opts.Pool.acquire(ctx, abort) {
+						fail()
+						return
+					}
 					shard := NewAgg(threshold)
+					var rows []Result
+					if win != nil {
+						rows = make([]Result, 0, ce-cs)
+					}
+					cancelled := false
 					for i := cs; i < ce; i++ {
+						if ctx.Err() != nil {
+							cancelled = true
+							break
+						}
 						s, err := src.At(i)
 						var r Result
 						if err != nil {
@@ -599,7 +667,22 @@ func RunStream(src Source, opts StreamOptions) (Report, error) {
 						}
 						shard.Observe(r)
 						done.Add(1)
-						if win != nil && !win.deliver(i, r) {
+						if win != nil {
+							rows = append(rows, r)
+						}
+					}
+					if opts.Pool != nil {
+						opts.Pool.Release()
+					}
+					if cancelled {
+						// The chunk is partial: neither deliver nor commit
+						// it, so the frontier never covers a half-simulated
+						// chunk.
+						fail()
+						return
+					}
+					for k, r := range rows {
+						if !win.deliver(cs+k, r) {
 							fail()
 							return
 						}
@@ -630,13 +713,41 @@ func RunStream(src Source, opts StreamOptions) (Report, error) {
 		ckLast, ckWrote, ckErr = cm.writer.drain()
 	}
 
+	var winErr error
 	if win != nil {
 		win.mu.Lock()
-		err := win.err
+		winErr = win.err
 		win.mu.Unlock()
-		if err != nil {
-			return Report{}, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// A sink failure unrelated to the cancellation still wins: the
+		// run was already broken before it was cancelled.
+		if winErr != nil && !errors.Is(winErr, cerr) {
+			return Report{}, winErr
 		}
+		if cm.err != nil {
+			return Report{}, cm.err
+		}
+		if ckErr != nil {
+			return Report{}, ckErr
+		}
+		if opts.Checkpoint != nil {
+			// Land one final checkpoint at the commit frontier: rows
+			// [Start, frontier) are aggregated, delivered and about to be
+			// flushed, so a cancelled run resumes exactly like a crashed
+			// one — anything the sink holds past the frontier is
+			// truncated back on resume.
+			if err := cm.flushSink(); err != nil {
+				return Report{}, err
+			}
+			if err := cm.writeCheckpoint(); err != nil {
+				return Report{}, err
+			}
+		}
+		return Report{}, fmt.Errorf("fleet: run cancelled: %w", cerr)
+	}
+	if winErr != nil {
+		return Report{}, winErr
 	}
 	if cm.err != nil {
 		return Report{}, cm.err
